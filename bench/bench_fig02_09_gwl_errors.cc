@@ -1,0 +1,67 @@
+// Reproduces Figures 2-9: estimation-error-vs-buffer-size curves on the
+// eight GWL-like columns (Tables 2-3), comparing EPFIS with ML, DC, SD and
+// OT under the paper's protocol: 200 random scans (small/large mixed
+// 50/50), buffer sizes max(300, 0.05T)..0.9T in 5% steps, aggregate error
+// metric sum(e_i - a_i) / sum(a_i).
+//
+// Expected shape (paper): EPFIS lowest and stable (max < ~20%); ML bounded
+// but drifting (max ~98%); DC/SD/OT unstable with errors up to orders of
+// magnitude on unclustered columns.
+//
+// Use --column=INAP.UWID to run a single figure, --paper-scale for the
+// full GWL sizes.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "workload/gwl.h"
+
+namespace epfis {
+namespace {
+
+int Run(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  BenchOptions options = ParseBenchOptions(argc, argv, /*default_scale=*/0.5);
+  std::string only = args.GetString("column", "");
+
+  std::cout << "Figures 2-9: error curves on GWL-like columns (scale="
+            << options.scale << ", " << options.scans << " scans)\n\n";
+
+  int figure = 2;
+  for (const GwlColumnSpec& column : GwlColumns()) {
+    if (!only.empty() && column.name != only) {
+      ++figure;
+      continue;
+    }
+    GwlOptions gwl_options;
+    gwl_options.scale = options.scale;
+    gwl_options.seed = options.seed;
+    auto synthesis = SynthesizeGwlColumn(column, gwl_options);
+    if (!synthesis.ok()) {
+      std::cerr << column.name << ": " << synthesis.status().ToString()
+                << '\n';
+      return 1;
+    }
+
+    ExperimentConfig config = PaperExperimentConfig(options);
+    auto result = RunErrorExperiment(*synthesis->dataset, config);
+    if (!result.ok()) {
+      std::cerr << column.name << ": " << result.status().ToString() << '\n';
+      return 1;
+    }
+
+    char label[96];
+    std::snprintf(label, sizeof(label), "Figure %d: %s (C=%.3f, K=%.3f)",
+                  figure, column.name.c_str(), synthesis->measured_c,
+                  synthesis->calibrated_k);
+    EmitExperiment(*result, label, options);
+    ++figure;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace epfis
+
+int main(int argc, char** argv) { return epfis::Run(argc, argv); }

@@ -1,0 +1,158 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical pieces:
+//
+//  * StackDistanceSimulator — LRU-Fit's inner loop; the paper requires the
+//    whole multi-buffer-size simulation to be feasible "while statistics
+//    are being gathered for other purposes".
+//  * LruSimulator — the direct single-size simulation (for comparison).
+//  * EstimatePageFetches — the optimizer-time path; the paper's pitch is
+//    that estimation "only involves computing a simple formula", so this
+//    must be nanoseconds-to-microseconds.
+//  * B-tree insert/seek and buffer pool hits — substrate costs.
+//  * Piecewise-linear fitting — the once-per-index statistics cost.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "buffer/lru_simulator.h"
+#include "buffer/stack_distance.h"
+#include "epfis/epfis.h"
+#include "index/btree.h"
+#include "storage/disk_manager.h"
+#include "util/piecewise.h"
+#include "util/random.h"
+
+namespace epfis {
+namespace {
+
+std::vector<PageId> RandomTrace(size_t len, uint32_t pages, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PageId> trace;
+  trace.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    trace.push_back(static_cast<PageId>(rng.NextBounded(pages)));
+  }
+  return trace;
+}
+
+void BM_StackDistanceAccess(benchmark::State& state) {
+  auto trace = RandomTrace(1 << 16, static_cast<uint32_t>(state.range(0)),
+                           11);
+  for (auto _ : state) {
+    StackDistanceSimulator sim(trace.size());
+    sim.AccessAll(trace);
+    benchmark::DoNotOptimize(sim.Fetches(64));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_StackDistanceAccess)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_LruSimulatorAccess(benchmark::State& state) {
+  auto trace = RandomTrace(1 << 16, 4096, 13);
+  for (auto _ : state) {
+    LruSimulator sim(static_cast<size_t>(state.range(0)));
+    sim.AccessAll(trace);
+    benchmark::DoNotOptimize(sim.fetches());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_LruSimulatorAccess)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_LruFitFullRun(benchmark::State& state) {
+  auto trace =
+      RandomTrace(static_cast<size_t>(state.range(0)), 2048, 17);
+  for (auto _ : state) {
+    auto stats = RunLruFit(trace, 2048, 100, "bm");
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LruFitFullRun)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_EstIo(benchmark::State& state) {
+  auto trace = RandomTrace(1 << 15, 1024, 19);
+  IndexStats stats = RunLruFit(trace, 1024, 100, "bm").value();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    ScanSpec scan;
+    scan.sigma = 0.001 * static_cast<double>(i % 1000 + 1);
+    scan.buffer_pages = 12 + (i % 1000);
+    benchmark::DoNotOptimize(EstimatePageFetches(stats, scan));
+    ++i;
+  }
+}
+BENCHMARK(BM_EstIo);
+
+void BM_PiecewiseFit(benchmark::State& state) {
+  Rng rng(23);
+  std::vector<Knot> points;
+  double y = 100000;
+  for (int i = 0; i < state.range(0); ++i) {
+    y *= 0.92;
+    points.push_back(Knot{static_cast<double>(i * 50 + 12),
+                          y + rng.NextDouble() * 100});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitPiecewiseLinear(points, 6));
+  }
+}
+BENCHMARK(BM_PiecewiseFit)->Arg(20)->Arg(80)->Arg(200);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  Rng rng(29);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DiskManager disk;
+    BufferPool pool(&disk, 512);
+    BTree tree(&pool, "bm");
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      IndexEntry entry{static_cast<int64_t>(rng.NextBounded(1 << 20)),
+                       Rid{static_cast<PageId>(i), 0}};
+      benchmark::DoNotOptimize(tree.Insert(entry));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(10000);
+
+void BM_BTreeSeek(benchmark::State& state) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4096);
+  BTree tree(&pool, "bm");
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 200000; ++i) {
+    entries.push_back(
+        IndexEntry{i, Rid{static_cast<PageId>(i / 100),
+                          static_cast<uint16_t>(i % 100)}});
+  }
+  (void)tree.BulkLoad(std::move(entries));
+  Rng rng(31);
+  for (auto _ : state) {
+    int64_t key = static_cast<int64_t>(rng.NextBounded(200000));
+    auto it = tree.SeekGE(BTree::MinEntryForKey(key));
+    benchmark::DoNotOptimize(it);
+  }
+}
+BENCHMARK(BM_BTreeSeek);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  DiskManager disk;
+  for (int i = 0; i < 64; ++i) disk.AllocatePage();
+  BufferPool pool(&disk, 64);
+  Rng rng(37);
+  for (auto _ : state) {
+    auto guard = pool.FetchPage(static_cast<PageId>(rng.NextBounded(64)));
+    benchmark::DoNotOptimize(guard);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolHit);
+
+}  // namespace
+}  // namespace epfis
+
+BENCHMARK_MAIN();

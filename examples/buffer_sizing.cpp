@@ -1,0 +1,100 @@
+// Buffer sizing / capacity planning with FPF curves.
+//
+// Figure 1 of the paper shows how differently indexes respond to buffer
+// size. A DBA (or self-tuning advisor) can read the knee of each index's
+// FPF curve to decide how much buffer an index scan actually needs: beyond
+// the knee, more memory buys almost nothing.
+//
+// This example synthesizes three indexes with different clustering, prints
+// their normalized FPF curves, and computes for each the smallest buffer
+// that achieves 95% of the maximum possible fetch savings.
+//
+// Build & run:  ./build/examples/buffer_sizing
+
+#include <algorithm>
+#include <iostream>
+
+#include "epfis/epfis.h"
+#include "util/table_printer.h"
+#include "workload/data_gen.h"
+
+using namespace epfis;
+
+int main() {
+  struct IndexUnderStudy {
+    const char* name;
+    double window;
+    double noise;
+  };
+  const IndexUnderStudy kIndexes[] = {
+      {"clustered (K=0)", 0.0, 0.0},
+      {"mild (K=0.1)", 0.1, 0.05},
+      {"scattered (K=1)", 1.0, 0.05},
+  };
+
+  TablePrinter summary({"index", "C", "F at Bmin", "F at T",
+                        "95%-savings buffer", "as % of T"});
+
+  for (const IndexUnderStudy& idx : kIndexes) {
+    SyntheticSpec spec;
+    spec.name = idx.name;
+    spec.num_records = 40'000;
+    spec.num_distinct = 400;
+    spec.records_per_page = 40;  // T = 1000.
+    spec.window_fraction = idx.window;
+    spec.noise = idx.noise;
+    spec.seed = 99;
+    auto dataset = GenerateSynthetic(spec);
+    if (!dataset.ok()) {
+      std::cerr << dataset.status().ToString() << '\n';
+      return 1;
+    }
+    auto trace = (*dataset)->FullIndexPageTrace().value();
+    IndexStats stats = RunLruFit(trace, (*dataset)->num_pages(),
+                                 (*dataset)->num_distinct(), idx.name)
+                           .value();
+
+    // Walk the fitted curve to find the 95%-of-savings buffer size.
+    double f_min_buffer = stats.FullScanFetches(
+        static_cast<double>(stats.b_min));
+    double f_max_buffer = stats.FullScanFetches(
+        static_cast<double>(stats.b_max));
+    double target = f_min_buffer - 0.95 * (f_min_buffer - f_max_buffer);
+    uint64_t knee = stats.b_max;
+    for (uint64_t b = stats.b_min; b <= stats.b_max; ++b) {
+      if (stats.FullScanFetches(static_cast<double>(b)) <= target) {
+        knee = b;
+        break;
+      }
+    }
+
+    summary.AddRow()
+        .Cell(std::string(idx.name))
+        .Cell(stats.clustering, 3)
+        .Cell(f_min_buffer, 0)
+        .Cell(f_max_buffer, 0)
+        .Cell(knee)
+        .Cell(100.0 * static_cast<double>(knee) /
+                  static_cast<double>(stats.b_max),
+              1);
+
+    // Show a condensed normalized curve, Figure-1 style.
+    std::cout << "FPF curve for " << idx.name << " (C = " << stats.clustering
+              << "):\n";
+    TablePrinter curve({"B/T", "F/T"});
+    for (double frac : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+      double b = frac * static_cast<double>(stats.b_max);
+      curve.AddRow().Cell(frac, 2).Cell(
+          stats.FullScanFetches(b) / static_cast<double>(stats.b_max), 2);
+    }
+    curve.Print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Buffer recommendation summary:\n";
+  summary.Print(std::cout);
+  std::cout << "\nClustered indexes need almost no buffer; scattered ones "
+               "only stop\nthrashing once the pool approaches the table "
+               "size — exactly the\nspread Figure 1 of the paper shows.\n";
+  return 0;
+}

@@ -1,0 +1,273 @@
+// epfis_shell — a scriptable mini-console over the whole stack, the kind
+// of driver an open-source release ships for poking at the system without
+// writing C++. Reads commands from stdin (one per line, '#' comments):
+//
+//   create NAME records distinct rpp window theta [noise seed]
+//       synthesize a table + index (the §5.2 generator)
+//   gwl COLUMN [scale]
+//       synthesize a GWL-like column (e.g. gwl CMAC.BRAN 0.25)
+//   stats NAME
+//       run LRU-Fit + build a histogram; store both in the catalog
+//   show NAME
+//       table shape and catalog statistics
+//   estimate NAME sigma buffer [sargable]
+//       Est-IO estimate from the catalog
+//   explain NAME lo hi buffer [sorted]
+//       enumerate optimizer plans (sigma from the histogram)
+//   run NAME lo hi buffer
+//       physically execute index scan + table scan, report fetches
+//   quit
+//
+// Example session:  ./build/examples/epfis_shell <<'EOF'
+//   create orders 40000 400 40 0.2 0
+//   stats orders
+//   estimate orders 0.1 250
+//   explain orders 1 40 250
+//   run orders 1 40 250
+// EOF
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "epfis/epfis.h"
+#include "exec/index_scan.h"
+#include "exec/optimizer.h"
+#include "exec/table_scan.h"
+#include "util/table_printer.h"
+#include "workload/data_gen.h"
+#include "workload/gwl.h"
+
+using namespace epfis;
+
+namespace {
+
+class Shell {
+ public:
+  int Loop(std::istream& in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      std::istringstream tokens(line);
+      std::string command;
+      if (!(tokens >> command)) continue;
+      if (command == "quit" || command == "exit") break;
+      Status status = Dispatch(command, tokens);
+      if (!status.ok()) {
+        std::cout << "error: " << status.ToString() << '\n';
+      }
+    }
+    return 0;
+  }
+
+ private:
+  Status Dispatch(const std::string& command, std::istringstream& args) {
+    if (command == "create") return Create(args);
+    if (command == "gwl") return Gwl(args);
+    if (command == "stats") return Stats(args);
+    if (command == "show") return Show(args);
+    if (command == "estimate") return Estimate(args);
+    if (command == "explain") return Explain(args);
+    if (command == "run") return Run(args);
+    if (command == "help") {
+      std::cout << "commands: create gwl stats show estimate explain run "
+                   "quit\n";
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("unknown command '" + command +
+                                   "' (try help)");
+  }
+
+  Result<Dataset*> Find(const std::string& name) {
+    auto it = datasets_.find(name);
+    if (it == datasets_.end()) {
+      return Status::NotFound("no table named " + name +
+                              " (use create or gwl first)");
+    }
+    return it->second.get();
+  }
+
+  Status Register(const std::string& name, std::unique_ptr<Dataset> dataset) {
+    EPFIS_RETURN_IF_ERROR(catalog_.RegisterTable(name, dataset->table()));
+    EPFIS_RETURN_IF_ERROR(catalog_.RegisterIndex(name + ".key", name, 0,
+                                                 dataset->index()));
+    datasets_[name] = std::move(dataset);
+    std::cout << "created " << name << ": N=" << datasets_[name]->num_records()
+              << " T=" << datasets_[name]->num_pages()
+              << " I=" << datasets_[name]->num_distinct() << '\n';
+    return Status::Ok();
+  }
+
+  Status Create(std::istringstream& args) {
+    SyntheticSpec spec;
+    std::string name;
+    if (!(args >> name >> spec.num_records >> spec.num_distinct >>
+          spec.records_per_page >> spec.window_fraction >> spec.theta)) {
+      return Status::InvalidArgument(
+          "usage: create NAME records distinct rpp window theta "
+          "[noise seed]");
+    }
+    args >> spec.noise >> spec.seed;
+    spec.name = name;
+    if (datasets_.count(name) > 0) {
+      return Status::AlreadyExists("table " + name + " exists");
+    }
+    EPFIS_ASSIGN_OR_RETURN(std::unique_ptr<Dataset> dataset,
+                           GenerateSynthetic(spec));
+    return Register(name, std::move(dataset));
+  }
+
+  Status Gwl(std::istringstream& args) {
+    std::string column;
+    if (!(args >> column)) {
+      return Status::InvalidArgument("usage: gwl COLUMN [scale]");
+    }
+    GwlOptions options;
+    options.scale = 0.25;
+    args >> options.scale;
+    EPFIS_ASSIGN_OR_RETURN(GwlColumnSpec spec, GwlColumnByName(column));
+    if (datasets_.count(column) > 0) {
+      return Status::AlreadyExists("table " + column + " exists");
+    }
+    EPFIS_ASSIGN_OR_RETURN(GwlSynthesis synthesis,
+                           SynthesizeGwlColumn(spec, options));
+    std::cout << "calibrated K=" << synthesis.calibrated_k
+              << " measured C=" << synthesis.measured_c << " (target "
+              << spec.target_clustering << ")\n";
+    return Register(column, std::move(synthesis.dataset));
+  }
+
+  Status Stats(std::istringstream& args) {
+    std::string name;
+    if (!(args >> name)) return Status::InvalidArgument("usage: stats NAME");
+    EPFIS_ASSIGN_OR_RETURN(Dataset * dataset, Find(name));
+    EPFIS_ASSIGN_OR_RETURN(std::vector<PageId> trace,
+                           dataset->FullIndexPageTrace());
+    EPFIS_ASSIGN_OR_RETURN(
+        IndexStats stats,
+        RunLruFit(trace, dataset->num_pages(), dataset->num_distinct(),
+                  name + ".key"));
+    std::cout << "LRU-Fit: C=" << stats.clustering << ", B in ["
+              << stats.b_min << ", " << stats.b_max << "], "
+              << stats.fpf->num_segments() << " segments\n";
+    catalog_.stats().Put(std::move(stats));
+    EPFIS_ASSIGN_OR_RETURN(
+        EquiDepthHistogram histogram,
+        EquiDepthHistogram::Build(dataset->key_counts(), 20));
+    EPFIS_RETURN_IF_ERROR(
+        catalog_.PutHistogram(name + ".key", std::move(histogram)));
+    std::cout << "histogram: 20 equi-depth buckets\n";
+    return Status::Ok();
+  }
+
+  Status Show(std::istringstream& args) {
+    std::string name;
+    if (!(args >> name)) return Status::InvalidArgument("usage: show NAME");
+    EPFIS_ASSIGN_OR_RETURN(Dataset * dataset, Find(name));
+    std::cout << name << ": N=" << dataset->num_records()
+              << " T=" << dataset->num_pages()
+              << " I=" << dataset->num_distinct()
+              << " R=" << dataset->records_per_page() << '\n';
+    auto stats = catalog_.stats().Get(name + ".key");
+    if (stats.ok()) {
+      std::cout << "  stats: C=" << stats->clustering
+                << " F_min=" << stats->f_min << " knots=";
+      for (const Knot& knot : stats->fpf->knots()) {
+        std::cout << " (" << knot.x << "," << knot.y << ")";
+      }
+      std::cout << '\n';
+    } else {
+      std::cout << "  (no statistics collected yet)\n";
+    }
+    return Status::Ok();
+  }
+
+  Status Estimate(std::istringstream& args) {
+    std::string name;
+    ScanSpec scan;
+    if (!(args >> name >> scan.sigma >> scan.buffer_pages)) {
+      return Status::InvalidArgument(
+          "usage: estimate NAME sigma buffer [sargable]");
+    }
+    args >> scan.sargable_selectivity;
+    EPFIS_ASSIGN_OR_RETURN(IndexStats stats,
+                           catalog_.stats().Get(name + ".key"));
+    std::cout << "estimated fetches: "
+              << EstimatePageFetches(stats, scan) << '\n';
+    return Status::Ok();
+  }
+
+  Status Explain(std::istringstream& args) {
+    std::string name;
+    int64_t lo, hi;
+    uint64_t buffer;
+    if (!(args >> name >> lo >> hi >> buffer)) {
+      return Status::InvalidArgument(
+          "usage: explain NAME lo hi buffer [sorted]");
+    }
+    std::string sorted;
+    args >> sorted;
+    Query query;
+    query.table = name;
+    query.column = 0;
+    query.range = KeyRange::Closed(lo, hi);
+    query.estimate_sigma = true;
+    query.require_sorted = (sorted == "sorted");
+    AccessPathOptimizer optimizer(&catalog_);
+    EPFIS_ASSIGN_OR_RETURN(std::vector<AccessPlan> plans,
+                           optimizer.EnumeratePlans(query, buffer));
+    for (size_t i = 0; i < plans.size(); ++i) {
+      std::cout << (i == 0 ? "-> " : "   ") << plans[i].ToString() << '\n';
+    }
+    return Status::Ok();
+  }
+
+  Status Run(std::istringstream& args) {
+    std::string name;
+    int64_t lo, hi;
+    uint64_t buffer;
+    if (!(args >> name >> lo >> hi >> buffer)) {
+      return Status::InvalidArgument("usage: run NAME lo hi buffer");
+    }
+    EPFIS_ASSIGN_OR_RETURN(Dataset * dataset, Find(name));
+    KeyRange range = KeyRange::Closed(lo, hi);
+
+    auto index_pool = dataset->MakeDataPool(buffer);
+    EPFIS_ASSIGN_OR_RETURN(
+        IndexScanResult index_run,
+        RunIndexScan(*dataset->index(), *dataset->table(), index_pool.get(),
+                     range));
+    auto table_pool = dataset->MakeDataPool(buffer);
+    EPFIS_ASSIGN_OR_RETURN(
+        TableScanResult table_run,
+        RunTableScan(*dataset->table(), table_pool.get(), range, 0));
+
+    TablePrinter table({"plan", "records", "page fetches"});
+    table.AddRow()
+        .Cell("index scan")
+        .Cell(index_run.records_fetched)
+        .Cell(index_run.data_page_fetches);
+    table.AddRow()
+        .Cell("table scan")
+        .Cell(static_cast<uint64_t>(table_run.records_qualifying))
+        .Cell(table_run.pages_fetched);
+    table.Print(std::cout);
+    return Status::Ok();
+  }
+
+  std::map<std::string, std::unique_ptr<Dataset>> datasets_;
+  Catalog catalog_;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "epfis shell — type 'help' for commands\n";
+  Shell shell;
+  return shell.Loop(std::cin);
+}

@@ -1,0 +1,21 @@
+#include "baselines/dc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace epfis {
+
+DcEstimator::DcEstimator(const BaselineTraceStats& stats)
+    : t_(static_cast<double>(stats.table_pages)),
+      n_records_(static_cast<double>(stats.table_records)) {
+  double i = std::max<double>(1.0, static_cast<double>(stats.distinct_keys));
+  double cc = static_cast<double>(stats.cluster_counter);
+  double log_term = std::min(0.4, 5.0 * std::log(t_ / i));
+  cr_ = std::min(1.0, cc / i + log_term);
+}
+
+double DcEstimator::Estimate(const EstimatorQuery& query) const {
+  return query.sigma * (t_ + (1.0 - cr_) * (n_records_ - t_));
+}
+
+}  // namespace epfis

@@ -1,0 +1,35 @@
+#ifndef EPFIS_BASELINES_DC_H_
+#define EPFIS_BASELINES_DC_H_
+
+#include "baselines/estimator.h"
+
+namespace epfis {
+
+/// Algorithm DC (§3.2), abstracted from an existing database product's
+/// internal estimator. From a key-order scan of the index entries a
+/// "cluster counter" CC is derived (see CollectBaselineTraceStats); then
+///
+///   CR = min(1, CC/I + min(0.4, 5 ln(T/I)))
+///   F  = sigma * (T + (1 - CR)(N - T))
+///
+/// Note the printed ln-term can be negative when T < I; it is implemented
+/// exactly as printed (DC's large errors in the paper's figures are part of
+/// what the experiments reproduce).
+class DcEstimator final : public Estimator {
+ public:
+  explicit DcEstimator(const BaselineTraceStats& stats);
+
+  std::string name() const override { return "DC"; }
+  double Estimate(const EstimatorQuery& query) const override;
+
+  double cluster_ratio() const { return cr_; }
+
+ private:
+  double t_;
+  double n_records_;
+  double cr_;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_BASELINES_DC_H_

@@ -1,0 +1,52 @@
+#include "baselines/ml.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace epfis {
+
+MlEstimator::MlEstimator(uint64_t table_pages, uint64_t table_records,
+                         uint64_t distinct_keys)
+    : t_(static_cast<double>(table_pages)),
+      n_records_(static_cast<double>(table_records)),
+      i_(static_cast<double>(distinct_keys)) {
+  double d = n_records_ / std::max(1.0, i_);
+  double r = n_records_ / std::max(1.0, t_);
+  double exponent = std::min(d, r);
+  q_ = (t_ > 1.0) ? std::exp(exponent * std::log1p(-1.0 / t_)) : 0.0;
+  p_ = 1.0 - q_;
+}
+
+double MlEstimator::PagesForKeyValues(double x, double buffer_pages) const {
+  if (x <= 0.0) return 0.0;
+  x = std::min(x, i_);
+  if (q_ <= 0.0) return std::min(x, t_);
+  if (q_ >= 1.0) return 0.0;
+
+  // n = max{ j in [0, I] : T (1 - q^j) <= B }  <=>  q^j >= 1 - B/T.
+  double n;
+  if (buffer_pages >= t_) {
+    n = i_;
+  } else {
+    double bound = 1.0 - buffer_pages / t_;
+    if (bound <= 0.0) {
+      n = i_;
+    } else {
+      n = std::floor(std::log(bound) / std::log(q_));
+      n = std::clamp(n, 0.0, i_);
+    }
+  }
+
+  if (x <= n) {
+    return t_ * (1.0 - std::pow(q_, x));
+  }
+  double qn = std::pow(q_, n);
+  return t_ * (1.0 - qn) + (x - n) * t_ * p_ * qn;
+}
+
+double MlEstimator::Estimate(const EstimatorQuery& query) const {
+  double x = query.sigma * i_;
+  return PagesForKeyValues(x, static_cast<double>(query.buffer_pages));
+}
+
+}  // namespace epfis

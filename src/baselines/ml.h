@@ -1,0 +1,44 @@
+#ifndef EPFIS_BASELINES_ML_H_
+#define EPFIS_BASELINES_ML_H_
+
+#include "baselines/estimator.h"
+
+namespace epfis {
+
+/// Algorithm ML — Mackert & Lohman (TODS 1989), as summarized in §3.1 of
+/// the paper: an iterative/closed-form model of an unclustered index scan
+/// under a finite LRU buffer. With R = N/T, D = N/I,
+///
+///   q = (1 - 1/T)^min(D, R),   p = 1 - q,
+///   n = max{ j in [0, I] : T (1 - q^j) <= B },
+///
+/// the pages fetched for x key values are
+///
+///   T (1 - q^x)                        if x <= n
+///   T (1 - q^n) + (x - n) T p q^n      if n < x <= I.
+///
+/// A scan of selectivity sigma touches x = sigma * I key values.
+class MlEstimator final : public Estimator {
+ public:
+  /// Builds from the basic table/index statistics (no trace needed).
+  MlEstimator(uint64_t table_pages, uint64_t table_records,
+              uint64_t distinct_keys);
+
+  std::string name() const override { return "ML"; }
+  double Estimate(const EstimatorQuery& query) const override;
+
+  /// The raw ML model: pages fetched for `x` matched key values with
+  /// buffer B. Exposed for unit tests.
+  double PagesForKeyValues(double x, double buffer_pages) const;
+
+ private:
+  double t_;
+  double n_records_;
+  double i_;
+  double q_;
+  double p_;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_BASELINES_ML_H_

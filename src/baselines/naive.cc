@@ -1,0 +1,43 @@
+#include "baselines/naive.h"
+
+#include <algorithm>
+
+#include "util/formulas.h"
+
+namespace epfis {
+
+PerfectlyClusteredEstimator::PerfectlyClusteredEstimator(uint64_t table_pages)
+    : t_(static_cast<double>(table_pages)) {}
+
+double PerfectlyClusteredEstimator::Estimate(
+    const EstimatorQuery& query) const {
+  return query.sigma * t_;
+}
+
+PerfectlyUnclusteredEstimator::PerfectlyUnclusteredEstimator(
+    uint64_t table_records)
+    : n_records_(static_cast<double>(table_records)) {}
+
+double PerfectlyUnclusteredEstimator::Estimate(
+    const EstimatorQuery& query) const {
+  return query.sigma * n_records_;
+}
+
+CardenasEstimator::CardenasEstimator(uint64_t table_pages,
+                                     uint64_t table_records)
+    : t_(static_cast<double>(table_pages)),
+      n_records_(static_cast<double>(table_records)) {}
+
+double CardenasEstimator::Estimate(const EstimatorQuery& query) const {
+  return CardenasPages(t_, query.sigma * n_records_);
+}
+
+YaoEstimator::YaoEstimator(uint64_t table_pages, uint64_t table_records)
+    : t_(static_cast<double>(table_pages)),
+      n_records_(static_cast<double>(table_records)) {}
+
+double YaoEstimator::Estimate(const EstimatorQuery& query) const {
+  return YaoPages(n_records_, t_, query.sigma * n_records_);
+}
+
+}  // namespace epfis

@@ -1,0 +1,64 @@
+#ifndef EPFIS_BASELINES_NAIVE_H_
+#define EPFIS_BASELINES_NAIVE_H_
+
+#include "baselines/estimator.h"
+
+namespace epfis {
+
+/// The "very first attempts" the paper mentions (§3): assume the index is
+/// perfectly clustered, so a scan of selectivity sigma fetches sigma * T
+/// pages regardless of the buffer.
+class PerfectlyClusteredEstimator final : public Estimator {
+ public:
+  explicit PerfectlyClusteredEstimator(uint64_t table_pages);
+
+  std::string name() const override { return "Clustered"; }
+  double Estimate(const EstimatorQuery& query) const override;
+
+ private:
+  double t_;
+};
+
+/// The opposite naive bound: perfectly unclustered, one fetch per record
+/// (capped at sigma * N).
+class PerfectlyUnclusteredEstimator final : public Estimator {
+ public:
+  explicit PerfectlyUnclusteredEstimator(uint64_t table_records);
+
+  std::string name() const override { return "Unclustered"; }
+  double Estimate(const EstimatorQuery& query) const override;
+
+ private:
+  double n_records_;
+};
+
+/// Cardenas (1975): random placement with replacement, infinite buffer:
+/// F = T (1 - (1 - 1/T)^{sigma N}).
+class CardenasEstimator final : public Estimator {
+ public:
+  CardenasEstimator(uint64_t table_pages, uint64_t table_records);
+
+  std::string name() const override { return "Cardenas"; }
+  double Estimate(const EstimatorQuery& query) const override;
+
+ private:
+  double t_;
+  double n_records_;
+};
+
+/// Yao (1977): random selection without replacement, infinite buffer.
+class YaoEstimator final : public Estimator {
+ public:
+  YaoEstimator(uint64_t table_pages, uint64_t table_records);
+
+  std::string name() const override { return "Yao"; }
+  double Estimate(const EstimatorQuery& query) const override;
+
+ private:
+  double t_;
+  double n_records_;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_BASELINES_NAIVE_H_

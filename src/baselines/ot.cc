@@ -1,0 +1,16 @@
+#include "baselines/ot.h"
+
+namespace epfis {
+
+OtEstimator::OtEstimator(const BaselineTraceStats& stats)
+    : t_(static_cast<double>(stats.table_pages)),
+      n_records_(static_cast<double>(stats.table_records)) {
+  double j = static_cast<double>(stats.j3);
+  cr_ = (n_records_ > 0.0) ? (n_records_ + t_ - j) / n_records_ : 1.0;
+}
+
+double OtEstimator::Estimate(const EstimatorQuery& query) const {
+  return query.sigma * (t_ + (1.0 - cr_) * (n_records_ - t_));
+}
+
+}  // namespace epfis

@@ -1,0 +1,29 @@
+#ifndef EPFIS_BASELINES_OT_H_
+#define EPFIS_BASELINES_OT_H_
+
+#include "baselines/estimator.h"
+
+namespace epfis {
+
+/// Algorithm OT (§3.4). With J = full-scan fetches under a 3-page buffer:
+///
+///   CR = (N + T - J) / N            (alternative jump definition)
+///   F  = sigma * (T + (1 - CR)(N - T))
+class OtEstimator final : public Estimator {
+ public:
+  explicit OtEstimator(const BaselineTraceStats& stats);
+
+  std::string name() const override { return "OT"; }
+  double Estimate(const EstimatorQuery& query) const override;
+
+  double cluster_ratio() const { return cr_; }
+
+ private:
+  double t_;
+  double n_records_;
+  double cr_;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_BASELINES_OT_H_

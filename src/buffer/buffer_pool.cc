@@ -1,0 +1,160 @@
+#include "buffer/buffer_pool.h"
+
+#include <cstring>
+
+#include "buffer/lru_replacer.h"
+
+namespace epfis {
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_),
+      page_id_(other.page_id_),
+      data_(other.data_),
+      dirty_(other.dirty_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    page_id_ = other.page_id_;
+    data_ = other.data_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+char* PageGuard::mutable_data() {
+  dirty_ = true;
+  return data_;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(page_id_, dirty_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_size,
+                       std::unique_ptr<Replacer> replacer)
+    : disk_(disk), replacer_(std::move(replacer)), frames_(pool_size) {
+  if (replacer_ == nullptr) replacer_ = std::make_unique<LruReplacer>();
+  free_list_.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    frames_[i].data = std::make_unique<char[]>(kPageSize);
+    // Hand out low frame indices first.
+    free_list_.push_back(pool_size - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort flush so tests that re-open data through a fresh pool see
+  // the latest contents.
+  (void)FlushAll();
+}
+
+Result<FrameId> BufferPool::GetVictimFrame() {
+  if (!free_list_.empty()) {
+    FrameId frame = free_list_.back();
+    free_list_.pop_back();
+    return frame;
+  }
+  std::optional<FrameId> victim = replacer_->Evict();
+  if (!victim.has_value()) {
+    return Status::ResourceExhausted("all buffer frames are pinned");
+  }
+  Frame& frame = frames_[*victim];
+  ++stats_.evictions;
+  if (frame.dirty) {
+    EPFIS_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.data.get()));
+    ++stats_.writebacks;
+    frame.dirty = false;
+  }
+  page_table_.erase(frame.page_id);
+  frame.page_id = kInvalidPageId;
+  return *victim;
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId page_id) {
+  ++stats_.requests;
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Frame& frame = frames_[it->second];
+    ++frame.pin_count;
+    replacer_->RecordAccess(it->second);
+    replacer_->SetEvictable(it->second, false);
+    return PageGuard(this, page_id, frame.data.get());
+  }
+
+  EPFIS_ASSIGN_OR_RETURN(FrameId frame_id, GetVictimFrame());
+  Frame& frame = frames_[frame_id];
+  Status read = disk_->ReadPage(page_id, frame.data.get());
+  if (!read.ok()) {
+    free_list_.push_back(frame_id);
+    return read;
+  }
+  ++stats_.fetches;
+  frame.page_id = page_id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  page_table_[page_id] = frame_id;
+  replacer_->RecordAccess(frame_id);
+  replacer_->SetEvictable(frame_id, false);
+  return PageGuard(this, page_id, frame.data.get());
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  EPFIS_ASSIGN_OR_RETURN(FrameId frame_id, GetVictimFrame());
+  PageId page_id = disk_->AllocatePage();
+  Frame& frame = frames_[frame_id];
+  std::memset(frame.data.get(), 0, kPageSize);
+  frame.page_id = page_id;
+  frame.pin_count = 1;
+  frame.dirty = true;  // Must be written back even if never modified again.
+  page_table_[page_id] = frame_id;
+  replacer_->RecordAccess(frame_id);
+  replacer_->SetEvictable(frame_id, false);
+  return PageGuard(this, page_id, frame.data.get());
+}
+
+void BufferPool::Unpin(PageId page_id, bool dirty) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return;
+  Frame& frame = frames_[it->second];
+  if (frame.pin_count == 0) return;
+  frame.dirty = frame.dirty || dirty;
+  if (--frame.pin_count == 0) {
+    replacer_->SetEvictable(it->second, true);
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.page_id != kInvalidPageId && frame.dirty) {
+      EPFIS_RETURN_IF_ERROR(
+          disk_->WritePage(frame.page_id, frame.data.get()));
+      ++stats_.writebacks;
+      frame.dirty = false;
+    }
+  }
+  return Status::Ok();
+}
+
+size_t BufferPool::num_pinned() const {
+  size_t pinned = 0;
+  for (const Frame& frame : frames_) {
+    if (frame.page_id != kInvalidPageId && frame.pin_count > 0) ++pinned;
+  }
+  return pinned;
+}
+
+}  // namespace epfis

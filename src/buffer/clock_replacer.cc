@@ -1,0 +1,86 @@
+#include "buffer/clock_replacer.h"
+
+namespace epfis {
+
+void ClockReplacer::RecordAccess(FrameId frame) {
+  auto it = entries_.find(frame);
+  if (it != entries_.end() && it->second.present) {
+    it->second.referenced = true;
+    return;
+  }
+  entries_[frame] = Entry{true, false, true};
+  ring_.push_back(frame);
+}
+
+void ClockReplacer::SetEvictable(FrameId frame, bool evictable) {
+  auto it = entries_.find(frame);
+  if (it == entries_.end() || !it->second.present) {
+    RecordAccess(frame);
+    it = entries_.find(frame);
+  }
+  it->second.evictable = evictable;
+}
+
+std::optional<FrameId> ClockReplacer::Evict() {
+  if (ring_.empty()) return std::nullopt;
+  // At most two full sweeps: the first clears reference bits, the second
+  // must find a victim if any evictable frame exists.
+  size_t budget = ring_.size() * 2;
+  size_t evictable_seen = 0;
+  while (budget-- > 0) {
+    if (hand_ >= ring_.size()) hand_ = 0;
+    FrameId frame = ring_[hand_];
+    auto it = entries_.find(frame);
+    if (it == entries_.end() || !it->second.present) {
+      // Lazily compact removed slots.
+      ring_.erase(ring_.begin() + static_cast<long>(hand_));
+      if (ring_.empty()) return std::nullopt;
+      continue;
+    }
+    Entry& entry = it->second;
+    if (!entry.evictable) {
+      ++hand_;
+      continue;
+    }
+    ++evictable_seen;
+    if (entry.referenced) {
+      entry.referenced = false;  // Second chance.
+      ++hand_;
+      continue;
+    }
+    entry.present = false;
+    ring_.erase(ring_.begin() + static_cast<long>(hand_));
+    entries_.erase(it);
+    return frame;
+  }
+  if (evictable_seen == 0) return std::nullopt;
+  // All evictable frames kept their reference bit through one sweep; take
+  // the one under the hand.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    size_t pos = (hand_ + i) % ring_.size();
+    auto it = entries_.find(ring_[pos]);
+    if (it != entries_.end() && it->second.present && it->second.evictable) {
+      FrameId frame = ring_[pos];
+      entries_.erase(it);
+      ring_.erase(ring_.begin() + static_cast<long>(pos));
+      return frame;
+    }
+  }
+  return std::nullopt;
+}
+
+void ClockReplacer::Remove(FrameId frame) {
+  auto it = entries_.find(frame);
+  if (it == entries_.end()) return;
+  it->second.present = false;
+  entries_.erase(it);
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    if (ring_[i] == frame) {
+      ring_.erase(ring_.begin() + static_cast<long>(i));
+      if (hand_ > i) --hand_;
+      break;
+    }
+  }
+}
+
+}  // namespace epfis

@@ -1,0 +1,41 @@
+#ifndef EPFIS_BUFFER_CLOCK_REPLACER_H_
+#define EPFIS_BUFFER_CLOCK_REPLACER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "buffer/replacer.h"
+
+namespace epfis {
+
+/// Clock (second-chance) replacement: an LRU approximation that many real
+/// systems use instead of strict LRU. The paper assumes strict LRU ("as in
+/// most relational database systems"); this replacer exists to quantify
+/// how much EPFIS's LRU-based model degrades when the actual pool is only
+/// approximately LRU (bench_ablation_policy).
+class ClockReplacer final : public Replacer {
+ public:
+  ClockReplacer() = default;
+
+  void RecordAccess(FrameId frame) override;
+  void SetEvictable(FrameId frame, bool evictable) override;
+  std::optional<FrameId> Evict() override;
+  void Remove(FrameId frame) override;
+
+  size_t num_tracked() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    bool referenced = true;
+    bool evictable = false;
+    bool present = true;  // False after Remove/Evict (lazy deletion).
+  };
+
+  std::vector<FrameId> ring_;  // Frames in insertion order.
+  std::unordered_map<FrameId, Entry> entries_;
+  size_t hand_ = 0;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_BUFFER_CLOCK_REPLACER_H_

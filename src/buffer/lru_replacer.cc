@@ -1,0 +1,48 @@
+#include "buffer/lru_replacer.h"
+
+namespace epfis {
+
+void LruReplacer::RecordAccess(FrameId frame) {
+  auto it = entries_.find(frame);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.pos);
+    lru_.push_back(frame);
+    it->second.pos = std::prev(lru_.end());
+    return;
+  }
+  lru_.push_back(frame);
+  entries_[frame] = Entry{std::prev(lru_.end()), false};
+}
+
+void LruReplacer::SetEvictable(FrameId frame, bool evictable) {
+  auto it = entries_.find(frame);
+  if (it == entries_.end()) {
+    // Unknown frame: treat as an access first so SetEvictable is safe to
+    // call in any order.
+    RecordAccess(frame);
+    it = entries_.find(frame);
+  }
+  it->second.evictable = evictable;
+}
+
+std::optional<FrameId> LruReplacer::Evict() {
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    auto entry = entries_.find(*it);
+    if (entry->second.evictable) {
+      FrameId victim = *it;
+      lru_.erase(it);
+      entries_.erase(entry);
+      return victim;
+    }
+  }
+  return std::nullopt;
+}
+
+void LruReplacer::Remove(FrameId frame) {
+  auto it = entries_.find(frame);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.pos);
+  entries_.erase(it);
+}
+
+}  // namespace epfis

@@ -1,0 +1,36 @@
+#ifndef EPFIS_BUFFER_LRU_REPLACER_H_
+#define EPFIS_BUFFER_LRU_REPLACER_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "buffer/replacer.h"
+
+namespace epfis {
+
+/// Strict least-recently-used replacement: victims are chosen in order of
+/// least recent access among evictable frames. O(1) per operation.
+class LruReplacer final : public Replacer {
+ public:
+  LruReplacer() = default;
+
+  void RecordAccess(FrameId frame) override;
+  void SetEvictable(FrameId frame, bool evictable) override;
+  std::optional<FrameId> Evict() override;
+  void Remove(FrameId frame) override;
+
+  size_t num_tracked() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::list<FrameId>::iterator pos;  // Position in lru_ (MRU at back).
+    bool evictable = false;
+  };
+
+  std::list<FrameId> lru_;  // LRU order: front = least recent.
+  std::unordered_map<FrameId, Entry> entries_;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_BUFFER_LRU_REPLACER_H_

@@ -1,0 +1,44 @@
+#include "buffer/lru_simulator.h"
+
+namespace epfis {
+
+LruSimulator::LruSimulator(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool LruSimulator::Access(PageId page_id) {
+  ++accesses_;
+  auto it = map_.find(page_id);
+  if (it != map_.end()) {
+    lru_.erase(it->second);
+    lru_.push_back(page_id);
+    it->second = std::prev(lru_.end());
+    return false;
+  }
+  ++fetches_;
+  if (map_.size() == capacity_) {
+    map_.erase(lru_.front());
+    lru_.pop_front();
+  }
+  lru_.push_back(page_id);
+  map_[page_id] = std::prev(lru_.end());
+  return true;
+}
+
+void LruSimulator::AccessAll(const std::vector<PageId>& trace) {
+  for (PageId pid : trace) Access(pid);
+}
+
+void LruSimulator::Reset() {
+  fetches_ = 0;
+  accesses_ = 0;
+  lru_.clear();
+  map_.clear();
+}
+
+uint64_t CountLruFetches(const std::vector<PageId>& trace, size_t capacity) {
+  LruSimulator sim(capacity);
+  sim.AccessAll(trace);
+  return sim.fetches();
+}
+
+}  // namespace epfis

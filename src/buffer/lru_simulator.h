@@ -1,0 +1,49 @@
+#ifndef EPFIS_BUFFER_LRU_SIMULATOR_H_
+#define EPFIS_BUFFER_LRU_SIMULATOR_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace epfis {
+
+/// Lightweight LRU cache simulator over page ids only (no page contents):
+/// feeds a reference string through a single fixed-size LRU buffer and
+/// counts fetches (misses). Algorithms SD and OT in the paper are defined
+/// directly in terms of this simulation with buffer sizes 1 and 3.
+class LruSimulator {
+ public:
+  /// Creates a simulator with `capacity` buffer slots (capacity >= 1).
+  explicit LruSimulator(size_t capacity);
+
+  /// Processes one page reference; returns true if it was a miss (fetch).
+  bool Access(PageId page_id);
+
+  /// Processes a whole reference string.
+  void AccessAll(const std::vector<PageId>& trace);
+
+  uint64_t fetches() const { return fetches_; }
+  uint64_t accesses() const { return accesses_; }
+  size_t capacity() const { return capacity_; }
+  size_t resident() const { return map_.size(); }
+
+  /// Clears cache contents and counters.
+  void Reset();
+
+ private:
+  size_t capacity_;
+  uint64_t fetches_ = 0;
+  uint64_t accesses_ = 0;
+  std::list<PageId> lru_;  // front = least recently used.
+  std::unordered_map<PageId, std::list<PageId>::iterator> map_;
+};
+
+/// Convenience: number of LRU fetches for `trace` with `capacity` slots.
+uint64_t CountLruFetches(const std::vector<PageId>& trace, size_t capacity);
+
+}  // namespace epfis
+
+#endif  // EPFIS_BUFFER_LRU_SIMULATOR_H_

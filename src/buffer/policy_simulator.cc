@@ -1,0 +1,59 @@
+#include "buffer/policy_simulator.h"
+
+namespace epfis {
+
+PolicySimulator::PolicySimulator(size_t capacity,
+                                 std::unique_ptr<Replacer> replacer)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      replacer_(std::move(replacer)) {
+  free_frames_.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    free_frames_.push_back(capacity_ - 1 - i);
+  }
+}
+
+bool PolicySimulator::Access(PageId page_id) {
+  ++accesses_;
+  auto it = frame_of_page_.find(page_id);
+  if (it != frame_of_page_.end()) {
+    replacer_->RecordAccess(it->second);
+    replacer_->SetEvictable(it->second, true);
+    return false;
+  }
+  ++fetches_;
+  FrameId frame;
+  if (!free_frames_.empty()) {
+    frame = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    std::optional<FrameId> victim = replacer_->Evict();
+    if (!victim.has_value()) {
+      // Cannot happen: every resident frame is evictable here.
+      return true;
+    }
+    frame = *victim;
+    auto evicted = page_of_frame_.find(frame);
+    if (evicted != page_of_frame_.end()) {
+      frame_of_page_.erase(evicted->second);
+      page_of_frame_.erase(evicted);
+    }
+  }
+  frame_of_page_[page_id] = frame;
+  page_of_frame_[frame] = page_id;
+  replacer_->RecordAccess(frame);
+  replacer_->SetEvictable(frame, true);
+  return true;
+}
+
+void PolicySimulator::AccessAll(const std::vector<PageId>& trace) {
+  for (PageId pid : trace) Access(pid);
+}
+
+uint64_t CountPolicyFetches(const std::vector<PageId>& trace, size_t capacity,
+                            std::unique_ptr<Replacer> replacer) {
+  PolicySimulator sim(capacity, std::move(replacer));
+  sim.AccessAll(trace);
+  return sim.fetches();
+}
+
+}  // namespace epfis

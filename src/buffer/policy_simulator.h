@@ -1,0 +1,51 @@
+#ifndef EPFIS_BUFFER_POLICY_SIMULATOR_H_
+#define EPFIS_BUFFER_POLICY_SIMULATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "buffer/replacer.h"
+#include "storage/page.h"
+
+namespace epfis {
+
+/// Cache simulator parameterized by an arbitrary replacement policy:
+/// counts misses for a page-id reference string without holding page data.
+/// LruSimulator is the fast special case for strict LRU; this one answers
+/// "what would the fetch count be under Clock (or any other Replacer)?" —
+/// used by bench_ablation_policy to probe the paper's strict-LRU
+/// assumption.
+class PolicySimulator {
+ public:
+  /// Takes ownership of `replacer`. capacity >= 1.
+  PolicySimulator(size_t capacity, std::unique_ptr<Replacer> replacer);
+
+  /// Processes one reference; returns true on a miss.
+  bool Access(PageId page_id);
+
+  void AccessAll(const std::vector<PageId>& trace);
+
+  uint64_t fetches() const { return fetches_; }
+  uint64_t accesses() const { return accesses_; }
+  size_t capacity() const { return capacity_; }
+  size_t resident() const { return page_of_frame_.size(); }
+
+ private:
+  size_t capacity_;
+  std::unique_ptr<Replacer> replacer_;
+  uint64_t fetches_ = 0;
+  uint64_t accesses_ = 0;
+  std::unordered_map<PageId, FrameId> frame_of_page_;
+  std::unordered_map<FrameId, PageId> page_of_frame_;
+  std::vector<FrameId> free_frames_;
+};
+
+/// Convenience: misses over `trace` under the given policy.
+uint64_t CountPolicyFetches(const std::vector<PageId>& trace, size_t capacity,
+                            std::unique_ptr<Replacer> replacer);
+
+}  // namespace epfis
+
+#endif  // EPFIS_BUFFER_POLICY_SIMULATOR_H_

@@ -1,0 +1,36 @@
+#ifndef EPFIS_BUFFER_REPLACER_H_
+#define EPFIS_BUFFER_REPLACER_H_
+
+#include <cstddef>
+#include <optional>
+
+namespace epfis {
+
+/// Frame index within a BufferPool.
+using FrameId = size_t;
+
+/// Replacement policy interface for the buffer pool. The paper (like "most
+/// relational database systems") assumes LRU; the interface exists so tests
+/// and future work can plug in other policies.
+class Replacer {
+ public:
+  virtual ~Replacer() = default;
+
+  /// Notes that `frame` was just accessed (moves it to the MRU position for
+  /// LRU-style policies).
+  virtual void RecordAccess(FrameId frame) = 0;
+
+  /// Marks whether `frame` may be chosen as a victim (frames with pinned
+  /// pages are not evictable).
+  virtual void SetEvictable(FrameId frame, bool evictable) = 0;
+
+  /// Chooses and removes a victim frame, or nullopt if none is evictable.
+  virtual std::optional<FrameId> Evict() = 0;
+
+  /// Removes `frame` from the policy's bookkeeping entirely.
+  virtual void Remove(FrameId frame) = 0;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_BUFFER_REPLACER_H_

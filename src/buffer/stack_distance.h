@@ -1,0 +1,75 @@
+#ifndef EPFIS_BUFFER_STACK_DISTANCE_H_
+#define EPFIS_BUFFER_STACK_DISTANCE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/fenwick.h"
+
+namespace epfis {
+
+/// One-pass, every-buffer-size-at-once LRU simulation using the stack
+/// property of LRU (Mattson et al., 1970) — the technique §4.1 of the paper
+/// prescribes for Subprogram LRU-Fit ("the *stack* property of the LRU
+/// algorithm is used to do the simulation ... using hash tables of buffer
+/// pages").
+///
+/// For each reference, the LRU *stack distance* d is the 1-based depth of
+/// the page in the LRU stack (infinite for first touches). A buffer of B
+/// slots misses exactly on references with d > B, so a histogram of stack
+/// distances yields the fetch count for every buffer size simultaneously:
+///
+///   fetches(B) = cold_misses + sum_{d > B} hist[d]
+///
+/// Distances are computed in O(log n) per reference with a Fenwick tree
+/// over reference timestamps (position t is 1 iff the page referenced at
+/// time t has not been referenced since), plus a hash map page -> last
+/// reference time.
+class StackDistanceSimulator {
+ public:
+  /// `expected_refs` pre-sizes the timestamp tree; the simulator grows
+  /// automatically if the trace is longer.
+  explicit StackDistanceSimulator(size_t expected_refs = 1024);
+
+  /// Processes one page reference.
+  void Access(PageId page_id);
+
+  /// Processes a whole reference string.
+  void AccessAll(const std::vector<PageId>& trace);
+
+  /// Number of page fetches a `buffer_size`-slot LRU buffer would have
+  /// performed on the trace so far. buffer_size >= 1.
+  uint64_t Fetches(uint64_t buffer_size) const;
+
+  /// Fetch counts for several buffer sizes (any order).
+  std::vector<uint64_t> FetchesForSizes(
+      const std::vector<uint64_t>& buffer_sizes) const;
+
+  /// Number of references processed.
+  uint64_t accesses() const { return now_; }
+
+  /// Number of distinct pages referenced — the paper's A ("pages accessed").
+  uint64_t distinct_pages() const { return last_access_.size(); }
+
+  /// First-touch misses (stack distance infinity); equals distinct_pages().
+  uint64_t cold_misses() const { return cold_misses_; }
+
+  /// Histogram of finite stack distances: hist()[d] = number of references
+  /// with stack distance exactly d (index 0 unused).
+  const std::vector<uint64_t>& hist() const { return hist_; }
+
+ private:
+  uint64_t now_ = 0;  // Next reference timestamp.
+  uint64_t cold_misses_ = 0;
+  FenwickTree live_;  // 1 at positions that are some page's last access.
+  std::unordered_map<PageId, uint64_t> last_access_;
+  std::vector<uint64_t> hist_;          // hist_[d], d >= 1.
+  mutable std::vector<uint64_t> suffix_;  // Cached suffix sums of hist_.
+  mutable bool suffix_valid_ = false;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_BUFFER_STACK_DISTANCE_H_

@@ -1,0 +1,128 @@
+#include "catalog/catalog.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace epfis {
+
+Status Catalog::RegisterTable(const std::string& name, TableHeap* heap) {
+  if (heap == nullptr) {
+    return Status::InvalidArgument("RegisterTable: null heap");
+  }
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name + " already registered");
+  }
+  tables_[name] = TableInfo{name, heap};
+  return Status::Ok();
+}
+
+Status Catalog::RegisterIndex(const std::string& name,
+                              const std::string& table, size_t key_column,
+                              BTree* tree) {
+  if (tree == nullptr) {
+    return Status::InvalidArgument("RegisterIndex: null tree");
+  }
+  auto table_it = tables_.find(table);
+  if (table_it == tables_.end()) {
+    return Status::NotFound("RegisterIndex: unknown table " + table);
+  }
+  if (key_column >= table_it->second.heap->schema().num_columns()) {
+    return Status::InvalidArgument("RegisterIndex: column out of range");
+  }
+  if (indexes_.count(name) > 0) {
+    return Status::AlreadyExists("index " + name + " already registered");
+  }
+  indexes_[name] = IndexInfo{name, table, key_column, tree};
+  return Status::Ok();
+}
+
+Result<TableInfo> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("unknown table " + name);
+  return it->second;
+}
+
+Result<IndexInfo> Catalog::GetIndex(const std::string& name) const {
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) return Status::NotFound("unknown index " + name);
+  return it->second;
+}
+
+std::vector<IndexInfo> Catalog::IndexesOnTable(const std::string& table) const {
+  std::vector<IndexInfo> out;
+  for (const auto& [name, info] : indexes_) {
+    if (info.table == table) out.push_back(info);
+  }
+  return out;
+}
+
+Status Catalog::PutHistogram(const std::string& index_name,
+                             EquiDepthHistogram histogram) {
+  if (indexes_.count(index_name) == 0) {
+    return Status::NotFound("PutHistogram: unknown index " + index_name);
+  }
+  histograms_.insert_or_assign(index_name, std::move(histogram));
+  return Status::Ok();
+}
+
+Result<EquiDepthHistogram> Catalog::GetHistogram(
+    const std::string& index_name) const {
+  auto it = histograms_.find(index_name);
+  if (it == histograms_.end()) {
+    return Status::NotFound("no histogram for index " + index_name);
+  }
+  return it->second;
+}
+
+Status Catalog::SaveHistogramsToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out << "[histogram-for]\n" << name << '\n' << histogram.ToString()
+        << "[end]\n";
+  }
+  return out.good() ? Status::Ok()
+                    : Status::IoError("write to " + path + " failed");
+}
+
+Status Catalog::LoadHistogramsFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path + " for reading");
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line != "[histogram-for]") {
+      return Status::Corruption("histogram file: expected [histogram-for]");
+    }
+    std::string name;
+    if (!std::getline(in, name) || name.empty()) {
+      return Status::Corruption("histogram file: missing index name");
+    }
+    std::ostringstream body;
+    while (std::getline(in, line) && line != "[end]") {
+      body << line << '\n';
+    }
+    if (line != "[end]") {
+      return Status::Corruption("histogram file: unterminated entry");
+    }
+    EPFIS_ASSIGN_OR_RETURN(EquiDepthHistogram histogram,
+                           EquiDepthHistogram::FromString(body.str()));
+    EPFIS_RETURN_IF_ERROR(PutHistogram(name, std::move(histogram)));
+  }
+  return Status::Ok();
+}
+
+std::vector<IndexInfo> Catalog::IndexesOnColumn(const std::string& table,
+                                                size_t column) const {
+  std::vector<IndexInfo> out;
+  for (const auto& [name, info] : indexes_) {
+    if (info.table == table && info.key_column == column) out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace epfis

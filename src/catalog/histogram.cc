@@ -1,0 +1,118 @@
+#include "catalog/histogram.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace epfis {
+
+Result<EquiDepthHistogram> EquiDepthHistogram::Build(
+    const std::vector<uint64_t>& key_counts, int num_buckets) {
+  if (num_buckets < 1) {
+    return Status::InvalidArgument("histogram needs at least one bucket");
+  }
+  uint64_t total = 0;
+  for (uint64_t c : key_counts) total += c;
+  if (total == 0) {
+    return Status::InvalidArgument("histogram needs at least one record");
+  }
+
+  // Target depth; a bucket closes once it reaches it (a single heavy key
+  // may overflow its bucket — equi-depth is approximate by nature).
+  uint64_t depth = (total + num_buckets - 1) / num_buckets;
+  std::vector<Bucket> buckets;
+  Bucket current;
+  bool open = false;
+  for (size_t i = 0; i < key_counts.size(); ++i) {
+    if (key_counts[i] == 0) continue;
+    int64_t key = static_cast<int64_t>(i) + 1;
+    if (!open) {
+      current = Bucket{key, key, 0, 0};
+      open = true;
+    }
+    current.hi = key;
+    current.count += key_counts[i];
+    current.distinct += 1;
+    if (current.count >= depth &&
+        buckets.size() + 1 < static_cast<size_t>(num_buckets)) {
+      buckets.push_back(current);
+      open = false;
+    }
+  }
+  if (open) buckets.push_back(current);
+  return EquiDepthHistogram(std::move(buckets), total);
+}
+
+double EquiDepthHistogram::EstimateRecords(const KeyRange& range) const {
+  int64_t lo = range.EffectiveLo();
+  int64_t hi = range.EffectiveHi();
+  if (lo > hi) return 0.0;
+  double records = 0.0;
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.hi < lo || bucket.lo > hi) continue;
+    int64_t cover_lo = std::max(lo, bucket.lo);
+    int64_t cover_hi = std::min(hi, bucket.hi);
+    double width = static_cast<double>(bucket.hi - bucket.lo) + 1.0;
+    double covered = static_cast<double>(cover_hi - cover_lo) + 1.0;
+    records += static_cast<double>(bucket.count) * (covered / width);
+  }
+  return records;
+}
+
+double EquiDepthHistogram::EstimateSelectivity(const KeyRange& range) const {
+  return EstimateRecords(range) / static_cast<double>(total_records_);
+}
+
+double EquiDepthHistogram::EstimateEqualitySelectivity(int64_t value) const {
+  for (const Bucket& bucket : buckets_) {
+    if (value >= bucket.lo && value <= bucket.hi) {
+      if (bucket.distinct == 0) return 0.0;
+      return static_cast<double>(bucket.count) /
+             static_cast<double>(bucket.distinct) /
+             static_cast<double>(total_records_);
+    }
+  }
+  return 0.0;
+}
+
+std::string EquiDepthHistogram::ToString() const {
+  std::ostringstream os;
+  os << "histogram total=" << total_records_ << '\n';
+  for (const Bucket& b : buckets_) {
+    os << b.lo << ' ' << b.hi << ' ' << b.count << ' ' << b.distinct << '\n';
+  }
+  return os.str();
+}
+
+Result<EquiDepthHistogram> EquiDepthHistogram::FromString(
+    const std::string& text) {
+  std::istringstream is(text);
+  std::string header;
+  uint64_t total = 0;
+  if (!(is >> header) || header != "histogram") {
+    return Status::Corruption("histogram: bad header");
+  }
+  std::string total_field;
+  if (!(is >> total_field) || total_field.rfind("total=", 0) != 0) {
+    return Status::Corruption("histogram: missing total");
+  }
+  total = std::strtoull(total_field.c_str() + 6, nullptr, 10);
+  std::vector<Bucket> buckets;
+  Bucket b;
+  uint64_t check = 0;
+  while (is >> b.lo >> b.hi >> b.count >> b.distinct) {
+    if (b.hi < b.lo || b.distinct == 0 || b.count == 0) {
+      return Status::Corruption("histogram: malformed bucket");
+    }
+    if (!buckets.empty() && b.lo <= buckets.back().hi) {
+      return Status::Corruption("histogram: overlapping buckets");
+    }
+    check += b.count;
+    buckets.push_back(b);
+  }
+  if (buckets.empty() || check != total) {
+    return Status::Corruption("histogram: bucket counts do not sum to total");
+  }
+  return EquiDepthHistogram(std::move(buckets), total);
+}
+
+}  // namespace epfis

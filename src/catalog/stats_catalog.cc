@@ -1,0 +1,169 @@
+#include "catalog/stats_catalog.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace epfis {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void StatsCatalog::Put(IndexStats stats) {
+  entries_[stats.index_name] = std::move(stats);
+}
+
+Result<IndexStats> StatsCatalog::Get(const std::string& index_name) const {
+  auto it = entries_.find(index_name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no statistics for index " + index_name);
+  }
+  return it->second;
+}
+
+bool StatsCatalog::Contains(const std::string& index_name) const {
+  return entries_.count(index_name) > 0;
+}
+
+void StatsCatalog::Remove(const std::string& index_name) {
+  entries_.erase(index_name);
+}
+
+std::vector<std::string> StatsCatalog::IndexNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, stats] : entries_) names.push_back(name);
+  return names;
+}
+
+std::string StatsCatalog::SaveToString() const {
+  std::ostringstream os;
+  for (const auto& [name, s] : entries_) {
+    os << "[index]\n";
+    os << "name=" << name << '\n';
+    os << "table_pages=" << s.table_pages << '\n';
+    os << "table_records=" << s.table_records << '\n';
+    os << "distinct_keys=" << s.distinct_keys << '\n';
+    os << "pages_accessed=" << s.pages_accessed << '\n';
+    os << "b_min=" << s.b_min << '\n';
+    os << "b_max=" << s.b_max << '\n';
+    os << "f_min=" << s.f_min << '\n';
+    os << "clustering=" << FormatDouble(s.clustering) << '\n';
+    os << "knots=";
+    if (s.fpf.has_value()) {
+      bool first = true;
+      for (const Knot& k : s.fpf->knots()) {
+        if (!first) os << ',';
+        os << FormatDouble(k.x) << ':' << FormatDouble(k.y);
+        first = false;
+      }
+    }
+    os << '\n';
+    os << "[end]\n";
+  }
+  return os.str();
+}
+
+Status StatsCatalog::LoadFromString(const std::string& text) {
+  std::map<std::string, IndexStats> loaded;
+  std::istringstream is(text);
+  std::string line;
+  IndexStats current;
+  bool in_entry = false;
+  int line_no = 0;
+  auto parse_error = [&](const std::string& what) {
+    return Status::Corruption("stats catalog line " +
+                              std::to_string(line_no) + ": " + what);
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line == "[index]") {
+      if (in_entry) return parse_error("nested [index]");
+      current = IndexStats{};
+      in_entry = true;
+      continue;
+    }
+    if (line == "[end]") {
+      if (!in_entry) return parse_error("[end] without [index]");
+      if (current.index_name.empty()) return parse_error("entry without name");
+      loaded[current.index_name] = std::move(current);
+      in_entry = false;
+      continue;
+    }
+    if (!in_entry) return parse_error("field outside [index] block");
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) return parse_error("expected key=value");
+    std::string key = line.substr(0, eq);
+    std::string value = line.substr(eq + 1);
+    if (key == "name") {
+      current.index_name = value;
+    } else if (key == "table_pages") {
+      current.table_pages = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "table_records") {
+      current.table_records = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "distinct_keys") {
+      current.distinct_keys = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "pages_accessed") {
+      current.pages_accessed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "b_min") {
+      current.b_min = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "b_max") {
+      current.b_max = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "f_min") {
+      current.f_min = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "clustering") {
+      current.clustering = std::strtod(value.c_str(), nullptr);
+    } else if (key == "knots") {
+      if (value.empty()) continue;
+      std::vector<Knot> knots;
+      std::istringstream ks(value);
+      std::string pair;
+      while (std::getline(ks, pair, ',')) {
+        size_t colon = pair.find(':');
+        if (colon == std::string::npos) return parse_error("bad knot pair");
+        Knot k;
+        k.x = std::strtod(pair.substr(0, colon).c_str(), nullptr);
+        k.y = std::strtod(pair.substr(colon + 1).c_str(), nullptr);
+        knots.push_back(k);
+      }
+      auto curve = PiecewiseLinear::FromKnots(std::move(knots));
+      if (!curve.ok()) return parse_error(curve.status().message());
+      current.fpf = std::move(curve).value();
+    } else {
+      return parse_error("unknown field " + key);
+    }
+  }
+  if (in_entry) return Status::Corruption("stats catalog: unterminated entry");
+  entries_ = std::move(loaded);
+  return Status::Ok();
+}
+
+Status StatsCatalog::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out << SaveToString();
+  return out.good() ? Status::Ok()
+                    : Status::IoError("write to " + path + " failed");
+}
+
+Status StatsCatalog::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path + " for reading");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadFromString(buf.str());
+}
+
+}  // namespace epfis

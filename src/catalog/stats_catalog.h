@@ -1,0 +1,52 @@
+#ifndef EPFIS_CATALOG_STATS_CATALOG_H_
+#define EPFIS_CATALOG_STATS_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "epfis/index_stats.h"
+#include "util/result.h"
+
+namespace epfis {
+
+/// The statistics side of the system catalog: one IndexStats entry per
+/// index, written by LRU-Fit at statistics-collection time and read by
+/// Est-IO during query compilation (§4: "This coordinate information can be
+/// stored in a system catalog entry associated with the index").
+///
+/// Entries round-trip through a line-oriented text format so statistics
+/// survive process restarts (SaveToFile / LoadFromFile).
+class StatsCatalog {
+ public:
+  StatsCatalog() = default;
+
+  /// Inserts or replaces the entry for `stats.index_name`.
+  void Put(IndexStats stats);
+
+  /// Fails with NotFound if the index has no statistics.
+  Result<IndexStats> Get(const std::string& index_name) const;
+
+  bool Contains(const std::string& index_name) const;
+  void Remove(const std::string& index_name);
+  size_t size() const { return entries_.size(); }
+
+  /// Names of all indexes with statistics, sorted.
+  std::vector<std::string> IndexNames() const;
+
+  /// Serializes every entry to the text format.
+  std::string SaveToString() const;
+
+  /// Parses entries from the text format, replacing current contents.
+  Status LoadFromString(const std::string& text);
+
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  std::map<std::string, IndexStats> entries_;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_CATALOG_STATS_CATALOG_H_

@@ -1,0 +1,25 @@
+#ifndef EPFIS_EPFIS_EPFIS_H_
+#define EPFIS_EPFIS_EPFIS_H_
+
+/// Umbrella header for the EPFIS public API.
+///
+/// Typical usage (see examples/quickstart.cpp):
+///
+///   // Statistics-collection time — one pass over the index entries:
+///   std::vector<PageId> trace = ...;  // data page per entry, key order
+///   EPFIS_ASSIGN_OR_RETURN(
+///       IndexStats stats,
+///       RunLruFit(trace, table_pages, distinct_keys, "idx"));
+///   stats_catalog.Put(stats);
+///
+///   // Query-compilation time — cheap formula evaluation:
+///   ScanSpec scan{.sigma = 0.07, .sargable_selectivity = 1.0,
+///                 .buffer_pages = 500};
+///   double fetches = EstimatePageFetches(stats, scan);
+
+#include "epfis/est_io.h"      // IWYU pragma: export
+#include "epfis/fpf_curve.h"   // IWYU pragma: export
+#include "epfis/index_stats.h" // IWYU pragma: export
+#include "epfis/lru_fit.h"     // IWYU pragma: export
+
+#endif  // EPFIS_EPFIS_EPFIS_H_

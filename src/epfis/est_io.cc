@@ -1,0 +1,67 @@
+#include "epfis/est_io.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/formulas.h"
+
+namespace epfis {
+
+double EstimateFullScanFetches(const IndexStats& stats,
+                               uint64_t buffer_pages) {
+  return stats.FullScanFetches(static_cast<double>(buffer_pages));
+}
+
+double EstimatePageFetches(const IndexStats& stats, const ScanSpec& scan,
+                           const EstIoOptions& options) {
+  double sigma = Clamp(scan.sigma, 0.0, 1.0);
+  double s_sarg = Clamp(scan.sargable_selectivity, 0.0, 1.0);
+  if (sigma == 0.0 || s_sarg == 0.0) return 0.0;
+
+  double t = static_cast<double>(stats.table_pages);
+  double n = static_cast<double>(stats.table_records);
+  double b = static_cast<double>(scan.buffer_pages);
+  double c = Clamp(stats.clustering, 0.0, 1.0);
+
+  // Step 4: PF_B from the segment approximation.
+  double pf_b = stats.FullScanFetches(b);
+
+  // Step 5: linear scaling by the range selectivity.
+  double estimate = sigma * pf_b;
+
+  // Step 6: heuristic correction for small sigma on unclustered indexes.
+  if (options.enable_correction && t > 0.0) {
+    double ratio = b / t;
+    double phi = options.phi_mode == PhiMode::kPaperMax
+                     ? std::max(1.0, ratio)
+                     : std::min(1.0, ratio);
+    double nu = (phi >= options.nu_threshold * sigma) ? 1.0 : 0.0;
+    if (nu > 0.0) {
+      double damping =
+          std::min(1.0, phi / (options.correction_divisor * sigma));
+      double cardenas = CardenasPages(t, sigma * n);
+      estimate += damping * (1.0 - c) * cardenas;
+    }
+  }
+
+  // Step 7: urn-model reduction for index-sargable predicates. The paper's
+  // final formula multiplies unconditionally, but with S = 1 the factor
+  // (1 - (1 - 1/Q)^{sigma N}) would shrink the estimate even though no
+  // sargable predicate exists, contradicting Equation 1; so the reduction
+  // applies only when a sargable predicate is actually present.
+  if (s_sarg < 1.0) {
+    double q = c * sigma * t + (1.0 - c) * std::min(t, sigma * n);
+    double k = s_sarg * sigma * n;
+    if (q >= 1.0 && k > 0.0) {
+      double log_miss = std::log1p(-1.0 / q);
+      double factor = -std::expm1(k * log_miss);  // 1 - (1 - 1/Q)^k
+      estimate *= Clamp(factor, 0.0, 1.0);
+    }
+  }
+
+  // A scan fetches a page at most once per qualifying record.
+  double qualifying = s_sarg * sigma * n;
+  return Clamp(estimate, 0.0, qualifying);
+}
+
+}  // namespace epfis

@@ -1,0 +1,63 @@
+#ifndef EPFIS_EPFIS_EST_IO_H_
+#define EPFIS_EPFIS_EST_IO_H_
+
+#include <cstdint>
+
+#include "epfis/index_stats.h"
+
+namespace epfis {
+
+/// Interpretation of phi in the small-selectivity correction (§4.2).
+enum class PhiMode {
+  /// As printed in the paper: phi = max(1, B/T).
+  kPaperMax,
+  /// The interpretation suggested by the surrounding prose ("sigma << B/T"):
+  /// phi = min(1, B/T). Compared in bench_ablation_phi.
+  kMin,
+};
+
+/// Options for Subprogram Est-IO.
+struct EstIoOptions {
+  PhiMode phi_mode = PhiMode::kPaperMax;
+  /// nu = 1 iff phi >= nu_threshold * sigma (paper: 3).
+  double nu_threshold = 3.0;
+  /// Damping divisor in min(1, phi / (divisor * sigma)) (paper: 6).
+  double correction_divisor = 6.0;
+  /// Apply the heuristic correction term at all (for ablations).
+  bool enable_correction = true;
+};
+
+/// Description of the index scan being costed.
+struct ScanSpec {
+  /// Selectivity of the starting/stopping conditions (fraction of records
+  /// in the scanned key range), in [0, 1].
+  double sigma = 1.0;
+  /// Combined selectivity S of index-sargable predicates, in (0, 1];
+  /// 1 means none.
+  double sargable_selectivity = 1.0;
+  /// LRU buffer pages available to the scan (the optimizer supplies this).
+  uint64_t buffer_pages = 0;
+};
+
+/// Subprogram Est-IO (§4.2): estimates the number of data-page fetches for
+/// an index scan given the catalog statistics produced by LRU-Fit.
+///
+/// Steps (paper §4.3, steps 4-7): evaluate the segment-approximated FPF
+/// curve at B to get PF_B; scale by sigma; add the small-sigma heuristic
+/// correction term
+///   nu * min(1, phi/(6 sigma)) * (1 - C) * Cardenas(T, sigma N);
+/// and finally, when sargable predicates are present (S < 1), reduce by the
+/// urn-model factor (1 - (1 - 1/Q)^k) with
+///   Q = C sigma T + (1 - C) min(T, sigma N),  k = S sigma N.
+///
+/// The returned estimate is clamped to the trivial bounds [0, S sigma N]
+/// (a scan cannot fetch more pages than it fetches records).
+double EstimatePageFetches(const IndexStats& stats, const ScanSpec& scan,
+                           const EstIoOptions& options = {});
+
+/// PF_B alone: the full-scan page-fetch estimate at the given buffer size.
+double EstimateFullScanFetches(const IndexStats& stats, uint64_t buffer_pages);
+
+}  // namespace epfis
+
+#endif  // EPFIS_EPFIS_EST_IO_H_

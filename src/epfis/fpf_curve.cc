@@ -1,0 +1,53 @@
+#include "epfis/fpf_curve.h"
+
+#include <cmath>
+
+namespace epfis {
+
+Result<std::vector<uint64_t>> MakeBufferSchedule(uint64_t b_min,
+                                                 uint64_t b_max,
+                                                 BufferSchedule schedule) {
+  if (b_min == 0) {
+    return Status::InvalidArgument("buffer schedule: b_min must be >= 1");
+  }
+  if (b_min > b_max) {
+    return Status::InvalidArgument("buffer schedule: b_min > b_max");
+  }
+  std::vector<uint64_t> sizes;
+  if (b_min == b_max) {
+    sizes.push_back(b_min);
+    return sizes;
+  }
+
+  double range = static_cast<double>(b_max - b_min);
+  double step = 2.0 * std::sqrt(range);
+  if (step < 1.0) step = 1.0;
+
+  if (schedule == BufferSchedule::kPaperLinear) {
+    double b = static_cast<double>(b_min);
+    while (b < static_cast<double>(b_max)) {
+      uint64_t v = static_cast<uint64_t>(std::llround(b));
+      if (sizes.empty() || v > sizes.back()) sizes.push_back(v);
+      b += step;
+    }
+    if (sizes.back() != b_max) sizes.push_back(b_max);
+    return sizes;
+  }
+
+  // Geometric schedule with the same point count as the linear one.
+  size_t k = static_cast<size_t>(std::ceil(range / step));
+  if (k == 0) k = 1;
+  double ratio = static_cast<double>(b_max) / static_cast<double>(b_min);
+  for (size_t i = 0; i <= k; ++i) {
+    double b = static_cast<double>(b_min) *
+               std::pow(ratio, static_cast<double>(i) / static_cast<double>(k));
+    uint64_t v = static_cast<uint64_t>(std::llround(b));
+    if (v < b_min) v = b_min;
+    if (v > b_max) v = b_max;
+    if (sizes.empty() || v > sizes.back()) sizes.push_back(v);
+  }
+  if (sizes.back() != b_max) sizes.push_back(b_max);
+  return sizes;
+}
+
+}  // namespace epfis

@@ -1,0 +1,39 @@
+#ifndef EPFIS_EPFIS_FPF_CURVE_H_
+#define EPFIS_EPFIS_FPF_CURVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace epfis {
+
+/// How LRU-Fit spaces the buffer sizes it models between B_min and B_max.
+enum class BufferSchedule {
+  /// The paper's heuristic: B_{i+1} = B_i + 2 * sqrt(B_max - B_min)
+  /// ("equally spaced"; more points for larger ranges, but growing slower
+  /// than the range).
+  kPaperLinear,
+  /// Goetz Graefe's suggestion (footnote 2):
+  /// B_i = B_min * (B_max / B_min)^{i/k} — geometric spacing.
+  kGraefeGeometric,
+};
+
+/// Returns the modeled buffer sizes B_1 < B_2 < ... < B_k with
+/// B_1 = b_min and B_k = b_max. For the geometric schedule the point count
+/// matches what the linear schedule would produce over the same range, so
+/// the two are comparable in catalog footprint. Fails if b_min > b_max or
+/// b_min == 0.
+Result<std::vector<uint64_t>> MakeBufferSchedule(uint64_t b_min,
+                                                 uint64_t b_max,
+                                                 BufferSchedule schedule);
+
+/// One sampled point of the full-index-scan page-fetch curve.
+struct FpfPoint {
+  uint64_t buffer_size = 0;
+  uint64_t fetches = 0;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_EPFIS_FPF_CURVE_H_

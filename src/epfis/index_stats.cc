@@ -1,0 +1,18 @@
+#include "epfis/index_stats.h"
+
+#include <algorithm>
+
+namespace epfis {
+
+double IndexStats::FullScanFetches(double buffer_size) const {
+  if (!fpf.has_value()) return 0.0;
+  double pf = fpf->Eval(buffer_size);
+  // A full scan fetches at least every accessed page once and never more
+  // than once per index entry; extrapolated segments must respect that.
+  double lo = static_cast<double>(pages_accessed);
+  double hi = static_cast<double>(table_records);
+  if (hi < lo) hi = lo;
+  return std::clamp(pf, lo, hi);
+}
+
+}  // namespace epfis

@@ -1,0 +1,42 @@
+#ifndef EPFIS_EPFIS_INDEX_STATS_H_
+#define EPFIS_EPFIS_INDEX_STATS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/piecewise.h"
+
+namespace epfis {
+
+/// Everything Subprogram LRU-Fit stores in the system catalog for one
+/// index, and everything Subprogram Est-IO consumes at query compilation
+/// time (§4 of the paper).
+struct IndexStats {
+  std::string index_name;
+
+  uint64_t table_pages = 0;    ///< T: data pages in the table.
+  uint64_t table_records = 0;  ///< N: records in the table.
+  uint64_t distinct_keys = 0;  ///< I: distinct key values in the index.
+  uint64_t pages_accessed = 0; ///< A: distinct data pages a full scan touches.
+
+  uint64_t b_min = 0;  ///< Smallest modeled buffer size.
+  uint64_t b_max = 0;  ///< Largest modeled buffer size (== T by default).
+  uint64_t f_min = 0;  ///< Full-scan fetches at b_min.
+
+  /// Clustering factor C = (N - F_min) / (N - T), clamped to [0, 1].
+  double clustering = 0.0;
+
+  /// The approximated FPF curve: buffer size -> full-scan page fetches.
+  /// Stored as line-segment knots exactly as the paper's catalog entry.
+  std::optional<PiecewiseLinear> fpf;
+
+  /// Full-scan page-fetch estimate at buffer size `b` (PF_B in the paper):
+  /// segment interpolation inside [b_min, b_max], linear extrapolation
+  /// outside, clamped to the physical bounds [A, N].
+  double FullScanFetches(double buffer_size) const;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_EPFIS_INDEX_STATS_H_

@@ -1,0 +1,113 @@
+#include "epfis/lru_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "buffer/stack_distance.h"
+#include "util/formulas.h"
+
+namespace epfis {
+namespace {
+
+struct ModelRange {
+  uint64_t b_min;
+  uint64_t b_max;
+};
+
+Result<ModelRange> DetermineRange(uint64_t table_pages,
+                                  const LruFitOptions& options) {
+  uint64_t b_max = options.b_max_override.value_or(table_pages);
+  uint64_t b_min = options.b_min_override.value_or(
+      std::max<uint64_t>(static_cast<uint64_t>(std::ceil(
+                             0.01 * static_cast<double>(table_pages))),
+                         options.b_sml));
+  b_min = std::max<uint64_t>(b_min, 1);
+  if (b_min > b_max) b_min = b_max;
+  if (b_max == 0) {
+    return Status::InvalidArgument("LRU-Fit: empty modeling range");
+  }
+  return ModelRange{b_min, b_max};
+}
+
+}  // namespace
+
+Result<std::vector<FpfPoint>> SampleFpfCurve(const std::vector<PageId>& trace,
+                                             uint64_t b_min, uint64_t b_max,
+                                             BufferSchedule schedule) {
+  if (trace.empty()) {
+    return Status::InvalidArgument("SampleFpfCurve: empty trace");
+  }
+  EPFIS_ASSIGN_OR_RETURN(std::vector<uint64_t> sizes,
+                         MakeBufferSchedule(b_min, b_max, schedule));
+  StackDistanceSimulator sim(trace.size());
+  sim.AccessAll(trace);
+  std::vector<FpfPoint> points;
+  points.reserve(sizes.size());
+  for (uint64_t b : sizes) {
+    points.push_back(FpfPoint{b, sim.Fetches(b)});
+  }
+  return points;
+}
+
+Result<IndexStats> RunLruFit(const std::vector<PageId>& trace,
+                             uint64_t table_pages, uint64_t distinct_keys,
+                             std::string index_name,
+                             const LruFitOptions& options) {
+  if (trace.empty()) {
+    return Status::InvalidArgument("LRU-Fit: empty index trace");
+  }
+  if (options.num_segments < 1) {
+    return Status::InvalidArgument("LRU-Fit: need at least one segment");
+  }
+  EPFIS_ASSIGN_OR_RETURN(ModelRange range,
+                         DetermineRange(table_pages, options));
+
+  // One pass over the trace: the stack simulation gives F for *every*
+  // buffer size; we read it out at the scheduled sizes.
+  EPFIS_ASSIGN_OR_RETURN(std::vector<uint64_t> sizes,
+                         MakeBufferSchedule(range.b_min, range.b_max,
+                                            options.schedule));
+  StackDistanceSimulator sim(trace.size());
+  sim.AccessAll(trace);
+
+  IndexStats stats;
+  stats.index_name = std::move(index_name);
+  stats.table_pages = table_pages;
+  stats.table_records = trace.size();
+  stats.distinct_keys = distinct_keys;
+  stats.pages_accessed = sim.distinct_pages();
+  stats.b_min = range.b_min;
+  stats.b_max = range.b_max;
+  stats.f_min = sim.Fetches(range.b_min);
+
+  // C = (N - F_min) / (N - T); degenerate N <= T means no page can be
+  // refetched even with one buffer, i.e. perfectly clustered.
+  double n = static_cast<double>(stats.table_records);
+  double t = static_cast<double>(stats.table_pages);
+  if (n > t) {
+    stats.clustering =
+        Clamp((n - static_cast<double>(stats.f_min)) / (n - t), 0.0, 1.0);
+  } else {
+    stats.clustering = 1.0;
+  }
+
+  std::vector<Knot> points;
+  points.reserve(sizes.size());
+  for (uint64_t b : sizes) {
+    points.push_back(Knot{static_cast<double>(b),
+                          static_cast<double>(sim.Fetches(b))});
+  }
+  if (points.size() == 1) {
+    // Single modeled size (tiny table): store a flat segment.
+    points.push_back(Knot{points[0].x + 1.0, points[0].y});
+  }
+  EPFIS_ASSIGN_OR_RETURN(
+      PiecewiseLinear fit,
+      options.fit_criterion == LruFitOptions::FitCriterion::kMinimax
+          ? FitPiecewiseLinearMinimax(points, options.num_segments)
+          : FitPiecewiseLinear(points, options.num_segments));
+  stats.fpf = std::move(fit);
+  return stats;
+}
+
+}  // namespace epfis

@@ -1,0 +1,63 @@
+#ifndef EPFIS_EPFIS_LRU_FIT_H_
+#define EPFIS_EPFIS_LRU_FIT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "epfis/fpf_curve.h"
+#include "epfis/index_stats.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace epfis {
+
+/// Options for Subprogram LRU-Fit (§4.1).
+struct LruFitOptions {
+  /// Smallest buffer size ever modeled (B_sml). The paper uses 12 "to avoid
+  /// the large effects on page fetches due to too small a buffer size".
+  uint64_t b_sml = 12;
+
+  /// Number of approximating line segments; the paper settles on 6 after
+  /// sensitivity experiments (reproduced in bench_ablation_segments).
+  int num_segments = 6;
+
+  /// Fitting criterion for the segment knots: least squares (default) or
+  /// minimax (the criterion of Natarajan 1991, which §4.1 cites).
+  enum class FitCriterion { kLeastSquares, kMinimax };
+  FitCriterion fit_criterion = FitCriterion::kLeastSquares;
+
+  /// Spacing of the modeled buffer sizes.
+  BufferSchedule schedule = BufferSchedule::kPaperLinear;
+
+  /// DBA-specified modeling range; when absent the paper's defaults apply:
+  /// B_min = max(0.01 * T, b_sml), B_max = T.
+  std::optional<uint64_t> b_min_override;
+  std::optional<uint64_t> b_max_override;
+};
+
+/// Runs Subprogram LRU-Fit over the data-page reference string of a *full*
+/// index scan (`trace[i]` = page of the record pointed to by the i-th index
+/// entry in key order). One pass of the Mattson stack simulation yields the
+/// FPF table for every modeled buffer size; the table is then approximated
+/// with line segments and the clustering factor C is derived from F at
+/// B_min. The result is exactly the catalog entry Est-IO consumes.
+///
+/// `table_pages` is T (it may exceed the number of *accessed* pages if some
+/// pages hold no indexed records). The record count N is `trace.size()`.
+/// Fails on an empty trace or impossible range.
+Result<IndexStats> RunLruFit(const std::vector<PageId>& trace,
+                             uint64_t table_pages, uint64_t distinct_keys,
+                             std::string index_name,
+                             const LruFitOptions& options = {});
+
+/// The raw sampled FPF points for the trace at the scheduled buffer sizes
+/// (before segment approximation); used by Figure 1 and the ablations.
+Result<std::vector<FpfPoint>> SampleFpfCurve(const std::vector<PageId>& trace,
+                                             uint64_t b_min, uint64_t b_max,
+                                             BufferSchedule schedule);
+
+}  // namespace epfis
+
+#endif  // EPFIS_EPFIS_LRU_FIT_H_

@@ -1,0 +1,88 @@
+#include "epfis/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace epfis {
+namespace {
+
+constexpr char kPageMagic[8] = {'E', 'P', 'F', 'T', 'R', 'C', '0', '1'};
+constexpr char kKeyPageMagic[8] = {'E', 'P', 'K', 'T', 'R', 'C', '0', '1'};
+
+Status WriteHeader(std::ofstream& out, const char* magic, uint64_t count) {
+  out.write(magic, 8);
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  return out.good() ? Status::Ok() : Status::IoError("trace header write");
+}
+
+Status ReadHeader(std::ifstream& in, const char* magic, uint64_t* count) {
+  char buf[8];
+  in.read(buf, 8);
+  if (!in.good() || std::memcmp(buf, magic, 8) != 0) {
+    return Status::Corruption("trace file: bad magic");
+  }
+  in.read(reinterpret_cast<char*>(count), sizeof(*count));
+  if (!in.good()) return Status::Corruption("trace file: truncated header");
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SavePageTrace(const std::vector<PageId>& trace,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  EPFIS_RETURN_IF_ERROR(WriteHeader(out, kPageMagic, trace.size()));
+  if (!trace.empty()) {
+    out.write(reinterpret_cast<const char*>(trace.data()),
+              static_cast<std::streamsize>(trace.size() * sizeof(PageId)));
+  }
+  return out.good() ? Status::Ok() : Status::IoError("trace write failed");
+}
+
+Result<std::vector<PageId>> LoadPageTrace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  uint64_t count = 0;
+  EPFIS_RETURN_IF_ERROR(ReadHeader(in, kPageMagic, &count));
+  std::vector<PageId> trace(count);
+  if (count > 0) {
+    in.read(reinterpret_cast<char*>(trace.data()),
+            static_cast<std::streamsize>(count * sizeof(PageId)));
+    if (!in.good()) return Status::Corruption("trace file: truncated body");
+  }
+  // Exactly at EOF?
+  in.peek();
+  if (!in.eof()) return Status::Corruption("trace file: trailing bytes");
+  return trace;
+}
+
+Status SaveKeyPageTrace(const std::vector<KeyPageRef>& trace,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  EPFIS_RETURN_IF_ERROR(WriteHeader(out, kKeyPageMagic, trace.size()));
+  for (const KeyPageRef& ref : trace) {
+    out.write(reinterpret_cast<const char*>(&ref.key), sizeof(ref.key));
+    out.write(reinterpret_cast<const char*>(&ref.page), sizeof(ref.page));
+  }
+  return out.good() ? Status::Ok() : Status::IoError("trace write failed");
+}
+
+Result<std::vector<KeyPageRef>> LoadKeyPageTrace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  uint64_t count = 0;
+  EPFIS_RETURN_IF_ERROR(ReadHeader(in, kKeyPageMagic, &count));
+  std::vector<KeyPageRef> trace(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    in.read(reinterpret_cast<char*>(&trace[i].key), sizeof(trace[i].key));
+    in.read(reinterpret_cast<char*>(&trace[i].page), sizeof(trace[i].page));
+    if (!in.good()) return Status::Corruption("trace file: truncated body");
+  }
+  in.peek();
+  if (!in.eof()) return Status::Corruption("trace file: trailing bytes");
+  return trace;
+}
+
+}  // namespace epfis

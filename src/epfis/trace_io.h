@@ -1,0 +1,41 @@
+#ifndef EPFIS_EPFIS_TRACE_IO_H_
+#define EPFIS_EPFIS_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/estimator.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace epfis {
+
+/// Binary (de)serialization of index reference traces.
+///
+/// §4.1 notes that "a scan of the index for index statistics collection
+/// has exactly these characteristics" — in a production deployment the
+/// statistics scan and the LRU modeling can run at different times (or on
+/// a different host). These helpers persist the trace the statistics scan
+/// produces so LRU-Fit / the baseline collectors can be replayed offline.
+///
+/// Format: 8-byte magic, u64 count, then fixed-width little-endian
+/// entries. Load validates magic and length and fails with Corruption on
+/// truncated or foreign files.
+
+/// Saves a plain data-page trace (what RunLruFit consumes).
+Status SavePageTrace(const std::vector<PageId>& trace,
+                     const std::string& path);
+
+/// Loads a plain data-page trace.
+Result<std::vector<PageId>> LoadPageTrace(const std::string& path);
+
+/// Saves a (key, page) trace (what the §3 baseline collectors consume).
+Status SaveKeyPageTrace(const std::vector<KeyPageRef>& trace,
+                        const std::string& path);
+
+/// Loads a (key, page) trace.
+Result<std::vector<KeyPageRef>> LoadKeyPageTrace(const std::string& path);
+
+}  // namespace epfis
+
+#endif  // EPFIS_EPFIS_TRACE_IO_H_

@@ -1,0 +1,102 @@
+#include "exec/external_sort.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "storage/slotted_page.h"
+
+namespace epfis {
+namespace {
+
+constexpr uint64_t kKeysPerScratchPage = kPageSize / sizeof(int64_t);
+
+uint64_t ScratchPages(size_t keys) {
+  return (keys + kKeysPerScratchPage - 1) / kKeysPerScratchPage;
+}
+
+}  // namespace
+
+Result<ExternalSortResult> ExternalSortTable(const TableHeap& heap,
+                                             BufferPool* pool,
+                                             const KeyRange& range,
+                                             size_t key_column,
+                                             uint64_t work_pages) {
+  if (work_pages == 0) {
+    return Status::InvalidArgument("external sort needs work memory");
+  }
+  if (key_column >= heap.schema().num_columns()) {
+    return Status::InvalidArgument("external sort: column out of range");
+  }
+  const uint64_t capacity = work_pages * kKeysPerScratchPage;
+
+  ExternalSortResult result;
+  std::vector<std::vector<int64_t>> runs;
+  std::vector<int64_t> work;
+  work.reserve(std::min<uint64_t>(capacity, 1 << 20));
+
+  auto flush_run = [&]() {
+    if (work.empty()) return;
+    std::sort(work.begin(), work.end());
+    result.scratch_pages_written += ScratchPages(work.size());
+    runs.push_back(std::move(work));
+    work = {};
+  };
+
+  // Pass 0: scan input, build sorted runs.
+  for (uint32_t ordinal = 0; ordinal < heap.num_pages(); ++ordinal) {
+    EPFIS_ASSIGN_OR_RETURN(PageId pid, heap.PageAt(ordinal));
+    EPFIS_ASSIGN_OR_RETURN(PageGuard guard, pool->FetchPage(pid));
+    SlottedPage page(const_cast<char*>(guard.data()));
+    uint16_t slots = page.num_slots();
+    for (uint16_t slot = 0; slot < slots; ++slot) {
+      auto bytes = page.Get(slot);
+      if (!bytes.ok()) {
+        if (bytes.status().code() == StatusCode::kNotFound) continue;
+        return bytes.status();
+      }
+      EPFIS_ASSIGN_OR_RETURN(
+          Record record, Record::Deserialize(heap.schema(), bytes.value()));
+      int64_t key = record.value(key_column);
+      if (!range.Contains(key)) continue;
+      ++result.records;
+      work.push_back(key);
+      if (work.size() >= capacity) flush_run();
+    }
+  }
+
+  if (runs.empty()) {
+    // Everything fit in the work memory: no spill at all.
+    std::sort(work.begin(), work.end());
+    result.sorted_keys = std::move(work);
+    result.runs = result.sorted_keys.empty() ? 0 : 1;
+    return result;
+  }
+  flush_run();
+  result.runs = runs.size();
+
+  // Merge pass: read every run back once.
+  for (const auto& run : runs) {
+    result.scratch_pages_read += ScratchPages(run.size());
+  }
+  struct Cursor {
+    const std::vector<int64_t>* run;
+    size_t pos;
+  };
+  auto cmp = [](const Cursor& a, const Cursor& b) {
+    return (*a.run)[a.pos] > (*b.run)[b.pos];
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> heap_q(cmp);
+  for (const auto& run : runs) {
+    if (!run.empty()) heap_q.push(Cursor{&run, 0});
+  }
+  result.sorted_keys.reserve(result.records);
+  while (!heap_q.empty()) {
+    Cursor cursor = heap_q.top();
+    heap_q.pop();
+    result.sorted_keys.push_back((*cursor.run)[cursor.pos]);
+    if (++cursor.pos < cursor.run->size()) heap_q.push(cursor);
+  }
+  return result;
+}
+
+}  // namespace epfis

@@ -1,0 +1,43 @@
+#include "exec/multi_index.h"
+
+namespace epfis {
+
+Result<MultiIndexResult> RunMultiIndexScan(
+    const BTree& first, const KeyRange& first_range, const BTree& second,
+    const KeyRange& second_range, IndexCombineOp op, const TableHeap& heap,
+    BufferPool* pool) {
+  EPFIS_ASSIGN_OR_RETURN(RidList list1,
+                         RidList::FromIndexRange(first, first_range));
+  EPFIS_ASSIGN_OR_RETURN(RidList list2,
+                         RidList::FromIndexRange(second, second_range));
+  RidList combined = (op == IndexCombineOp::kAnd) ? RidList::And(list1, list2)
+                                                  : RidList::Or(list1, list2);
+
+  MultiIndexResult result;
+  result.rids_from_first = list1.size();
+  result.rids_from_second = list2.size();
+  result.rids_combined = combined.size();
+
+  EPFIS_ASSIGN_OR_RETURN(RidFetchResult fetch,
+                         FetchRidList(heap, pool, combined));
+  result.data_page_fetches = fetch.data_page_fetches;
+  result.data_pages_accessed = fetch.data_pages_accessed;
+  return result;
+}
+
+double EstimateCombinedRecords(double table_records, double sigma1,
+                               double sigma2, IndexCombineOp op) {
+  double combined = (op == IndexCombineOp::kAnd)
+                        ? sigma1 * sigma2
+                        : sigma1 + sigma2 - sigma1 * sigma2;
+  return table_records * combined;
+}
+
+double EstimateMultiIndexFetchPages(double table_records, double table_pages,
+                                    double sigma1, double sigma2,
+                                    IndexCombineOp op) {
+  double k = EstimateCombinedRecords(table_records, sigma1, sigma2, op);
+  return EstimateRidFetchPages(table_records, table_pages, k);
+}
+
+}  // namespace epfis

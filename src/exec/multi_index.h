@@ -1,0 +1,47 @@
+#ifndef EPFIS_EXEC_MULTI_INDEX_H_
+#define EPFIS_EXEC_MULTI_INDEX_H_
+
+#include <cstdint>
+
+#include "exec/rid_list.h"
+
+namespace epfis {
+
+/// Boolean combination of two single-index predicates (§6: "use of
+/// multiple indexes ... index ANDing and ORing").
+enum class IndexCombineOp { kAnd, kOr };
+
+/// Outcome of a multi-index access: both indexes are scanned for RIDs, the
+/// lists are combined, and the surviving records fetched in physical
+/// order.
+struct MultiIndexResult {
+  uint64_t rids_from_first = 0;
+  uint64_t rids_from_second = 0;
+  uint64_t rids_combined = 0;
+  uint64_t data_page_fetches = 0;
+  uint64_t data_pages_accessed = 0;
+};
+
+/// Executes an index-ANDing/ORing plan: collect RIDs from `first` over
+/// `first_range` and from `second` over `second_range`, intersect or
+/// union, then fetch through `pool` sorted. Data pages are only touched in
+/// the final fetch phase (the RID operations are index-only).
+Result<MultiIndexResult> RunMultiIndexScan(
+    const BTree& first, const KeyRange& first_range, const BTree& second,
+    const KeyRange& second_range, IndexCombineOp op, const TableHeap& heap,
+    BufferPool* pool);
+
+/// Estimated qualifying records for the combination, under the usual
+/// independence assumption: AND -> N * s1 * s2, OR -> N * (s1 + s2 - s1*s2).
+double EstimateCombinedRecords(double table_records, double sigma1,
+                               double sigma2, IndexCombineOp op);
+
+/// Estimated data-page fetches for the whole plan: Yao over the combined
+/// record count (the final fetch is RID-sorted, hence buffer-independent).
+double EstimateMultiIndexFetchPages(double table_records, double table_pages,
+                                    double sigma1, double sigma2,
+                                    IndexCombineOp op);
+
+}  // namespace epfis
+
+#endif  // EPFIS_EXEC_MULTI_INDEX_H_

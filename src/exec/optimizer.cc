@@ -1,0 +1,139 @@
+#include "exec/optimizer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "exec/rid_list.h"
+
+namespace epfis {
+
+std::string AccessPlan::ToString() const {
+  std::ostringstream os;
+  if (type == Type::kTableScan) {
+    os << "TableScan";
+  } else if (type == Type::kRidListFetch) {
+    os << "RidListFetch(" << index_name << ")";
+  } else {
+    os << "IndexScan(" << index_name << ")";
+  }
+  os << " fetches=" << estimated_fetches;
+  if (sort_cost > 0.0) os << " +sort=" << sort_cost;
+  os << " cost=" << total_cost;
+  return os.str();
+}
+
+AccessPathOptimizer::AccessPathOptimizer(const Catalog* catalog,
+                                         OptimizerOptions options)
+    : catalog_(catalog), options_(options) {}
+
+Result<std::vector<AccessPlan>> AccessPathOptimizer::EnumeratePlans(
+    const Query& query, uint64_t buffer_pages) const {
+  EPFIS_ASSIGN_OR_RETURN(TableInfo table, catalog_->GetTable(query.table));
+  double table_pages = static_cast<double>(table.heap->num_pages());
+
+  std::vector<AccessPlan> plans;
+
+  // Plan 1: table scan (+ sort if ordered output is required).
+  AccessPlan table_scan;
+  table_scan.type = AccessPlan::Type::kTableScan;
+  table_scan.estimated_fetches = table_pages;
+  table_scan.sort_cost =
+      query.require_sorted ? options_.sort_io_factor * table_pages : 0.0;
+  table_scan.total_cost = table_scan.estimated_fetches + table_scan.sort_cost;
+  plans.push_back(table_scan);
+
+  // One plan per relevant index (same column: usable for both the range
+  // predicate and the sort order).
+  for (const IndexInfo& index :
+       catalog_->IndexesOnColumn(query.table, query.column)) {
+    EPFIS_ASSIGN_OR_RETURN(IndexStats stats,
+                           catalog_->stats().Get(index.name));
+    double sigma = query.sigma;
+    if (query.estimate_sigma) {
+      EPFIS_ASSIGN_OR_RETURN(EquiDepthHistogram histogram,
+                             catalog_->GetHistogram(index.name));
+      sigma = histogram.EstimateSelectivity(query.range);
+    }
+    ScanSpec scan;
+    scan.sigma = sigma;
+    scan.sargable_selectivity = query.sargable_selectivity;
+    scan.buffer_pages = buffer_pages;
+
+    AccessPlan plan;
+    plan.type = AccessPlan::Type::kIndexScan;
+    plan.index_name = index.name;
+    plan.estimated_fetches =
+        EstimatePageFetches(stats, scan, options_.est_io);
+    // Index order is the required order unless the query orders by a
+    // different column, in which case this plan sorts its (selective)
+    // output like the table scan does, scaled to the pages it produces.
+    bool order_matches = !query.require_sorted ||
+                         !query.order_column.has_value() ||
+                         *query.order_column == query.column;
+    plan.sort_cost = order_matches ? 0.0
+                                   : options_.sort_io_factor *
+                                         plan.estimated_fetches;
+    plan.total_cost = plan.estimated_fetches + plan.sort_cost;
+    plans.push_back(plan);
+
+    if (options_.consider_rid_list) {
+      // RID-sort variant: fetches are Yao's distinct-page count regardless
+      // of the buffer, but the key order is destroyed, so ordered output
+      // pays the external sort like a table scan does (scaled to the pages
+      // actually produced).
+      double k = sigma * query.sargable_selectivity *
+                 static_cast<double>(stats.table_records);
+      AccessPlan rid_plan;
+      rid_plan.type = AccessPlan::Type::kRidListFetch;
+      rid_plan.index_name = index.name;
+      rid_plan.estimated_fetches = EstimateRidFetchPages(
+          static_cast<double>(stats.table_records), table_pages, k);
+      rid_plan.sort_cost = query.require_sorted
+                               ? options_.sort_io_factor *
+                                     rid_plan.estimated_fetches
+                               : 0.0;
+      rid_plan.total_cost = rid_plan.estimated_fetches + rid_plan.sort_cost;
+      plans.push_back(rid_plan);
+    }
+  }
+
+  // Plan shape 3 (§2): when the ORDER BY column differs from the predicate
+  // column, a *full* scan of an index on the order column delivers sorted
+  // output directly; the predicate is evaluated on fetched records, so the
+  // whole index is scanned (sigma = 1) and nothing is sargable.
+  if (query.require_sorted && query.order_column.has_value() &&
+      *query.order_column != query.column) {
+    for (const IndexInfo& index :
+         catalog_->IndexesOnColumn(query.table, *query.order_column)) {
+      EPFIS_ASSIGN_OR_RETURN(IndexStats stats,
+                             catalog_->stats().Get(index.name));
+      ScanSpec scan;
+      scan.sigma = 1.0;
+      scan.sargable_selectivity = 1.0;
+      scan.buffer_pages = buffer_pages;
+      AccessPlan plan;
+      plan.type = AccessPlan::Type::kIndexScan;
+      plan.index_name = index.name;
+      plan.estimated_fetches =
+          EstimatePageFetches(stats, scan, options_.est_io);
+      plan.sort_cost = 0.0;
+      plan.total_cost = plan.estimated_fetches;
+      plans.push_back(plan);
+    }
+  }
+
+  std::stable_sort(plans.begin(), plans.end(),
+                   [](const AccessPlan& a, const AccessPlan& b) {
+                     return a.total_cost < b.total_cost;
+                   });
+  return plans;
+}
+
+Result<AccessPlan> AccessPathOptimizer::Choose(const Query& query,
+                                               uint64_t buffer_pages) const {
+  EPFIS_ASSIGN_OR_RETURN(std::vector<AccessPlan> plans,
+                         EnumeratePlans(query, buffer_pages));
+  return plans.front();
+}
+
+}  // namespace epfis

@@ -1,0 +1,55 @@
+#include "exec/predicate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace epfis {
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::string KeyRange::ToString() const {
+  std::ostringstream os;
+  if (lo.has_value()) {
+    os << (lo_inclusive ? "[" : "(") << *lo;
+  } else {
+    os << "(-inf";
+  }
+  os << ", ";
+  if (hi.has_value()) {
+    os << *hi << (hi_inclusive ? "]" : ")");
+  } else {
+    os << "+inf)";
+  }
+  return os.str();
+}
+
+SargableFilter::SargableFilter(double selectivity, uint64_t seed)
+    : selectivity_(std::clamp(selectivity, 0.0, 1.0)), seed_(seed) {
+  // Map S to a 64-bit threshold; S == 1 keeps everything.
+  long double scaled =
+      static_cast<long double>(selectivity_) * 18446744073709551615.0L;
+  threshold_ = static_cast<uint64_t>(scaled);
+  if (selectivity_ >= 1.0) threshold_ = UINT64_MAX;
+}
+
+bool SargableFilter::Keep(const IndexEntry& entry) const {
+  if (selectivity_ >= 1.0) return true;
+  if (selectivity_ <= 0.0) return false;
+  uint64_t h = Mix64(static_cast<uint64_t>(entry.key) ^
+                     Mix64((static_cast<uint64_t>(entry.rid.page_id) << 16) ^
+                           entry.rid.slot ^ seed_));
+  return h < threshold_;
+}
+
+}  // namespace epfis

@@ -1,0 +1,74 @@
+#ifndef EPFIS_EXEC_PREDICATE_H_
+#define EPFIS_EXEC_PREDICATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "index/index_entry.h"
+
+namespace epfis {
+
+/// Starting/stopping conditions on the index's key column (§2): an
+/// optional lower and upper bound, each inclusive or exclusive. An empty
+/// range (no bounds) is a full scan.
+struct KeyRange {
+  std::optional<int64_t> lo;
+  bool lo_inclusive = true;
+  std::optional<int64_t> hi;
+  bool hi_inclusive = true;
+
+  bool Contains(int64_t key) const {
+    if (lo.has_value() && (lo_inclusive ? key < *lo : key <= *lo)) {
+      return false;
+    }
+    if (hi.has_value() && (hi_inclusive ? key > *hi : key >= *hi)) {
+      return false;
+    }
+    return true;
+  }
+
+  /// The smallest key satisfying the lower bound (INT64_MIN if unbounded).
+  int64_t EffectiveLo() const {
+    if (!lo.has_value()) return INT64_MIN;
+    return lo_inclusive ? *lo : *lo + 1;
+  }
+
+  /// The largest key satisfying the upper bound (INT64_MAX if unbounded).
+  int64_t EffectiveHi() const {
+    if (!hi.has_value()) return INT64_MAX;
+    return hi_inclusive ? *hi : *hi - 1;
+  }
+
+  std::string ToString() const;
+
+  static KeyRange Closed(int64_t lo, int64_t hi) {
+    return KeyRange{lo, true, hi, true};
+  }
+  static KeyRange All() { return KeyRange{}; }
+};
+
+/// Stand-in for the paper's index-sargable predicates (e.g. "b = 5" on a
+/// non-major index column): a deterministic pseudo-random filter over index
+/// entries with a configurable selectivity S. Because the filter is keyed
+/// on the entry's RID it behaves like an independent per-record predicate,
+/// which is exactly the independence assumption behind the urn model in
+/// §4.2 — so measured and modeled workloads agree on semantics.
+class SargableFilter {
+ public:
+  SargableFilter(double selectivity, uint64_t seed);
+
+  double selectivity() const { return selectivity_; }
+
+  /// Deterministically keeps ~selectivity of all entries.
+  bool Keep(const IndexEntry& entry) const;
+
+ private:
+  double selectivity_;
+  uint64_t seed_;
+  uint64_t threshold_;  // Keep iff hash < threshold.
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_EXEC_PREDICATE_H_

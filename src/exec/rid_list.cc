@@ -1,0 +1,90 @@
+#include "exec/rid_list.h"
+
+#include <algorithm>
+
+#include "index/btree_iterator.h"
+#include "storage/slotted_page.h"
+#include "util/formulas.h"
+
+namespace epfis {
+
+Result<RidList> RidList::FromIndexRange(const BTree& index,
+                                        const KeyRange& range,
+                                        const SargableFilter* filter) {
+  std::vector<Rid> rids;
+  Result<BTreeIterator> it_or =
+      range.lo.has_value()
+          ? index.SeekGE(BTree::MinEntryForKey(range.EffectiveLo()))
+          : index.Begin();
+  EPFIS_RETURN_IF_ERROR(it_or.status());
+  BTreeIterator it = std::move(it_or).value();
+  int64_t hi = range.EffectiveHi();
+  while (it.Valid() && it.entry().key <= hi) {
+    if (filter == nullptr || filter->Keep(it.entry())) {
+      rids.push_back(it.entry().rid);
+    }
+    EPFIS_RETURN_IF_ERROR(it.Next());
+  }
+  return FromRids(std::move(rids));
+}
+
+RidList RidList::FromRids(std::vector<Rid> rids) {
+  std::sort(rids.begin(), rids.end());
+  rids.erase(std::unique(rids.begin(), rids.end()), rids.end());
+  return RidList(std::move(rids));
+}
+
+RidList RidList::And(const RidList& a, const RidList& b) {
+  std::vector<Rid> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.rids_.begin(), a.rids_.end(), b.rids_.begin(),
+                        b.rids_.end(), std::back_inserter(out));
+  return RidList(std::move(out));
+}
+
+RidList RidList::Or(const RidList& a, const RidList& b) {
+  std::vector<Rid> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.rids_.begin(), a.rids_.end(), b.rids_.begin(),
+                 b.rids_.end(), std::back_inserter(out));
+  return RidList(std::move(out));
+}
+
+uint64_t RidList::DistinctPages() const {
+  uint64_t pages = 0;
+  PageId prev = kInvalidPageId;
+  for (const Rid& rid : rids_) {
+    if (rid.page_id != prev) {
+      ++pages;
+      prev = rid.page_id;
+    }
+  }
+  return pages;
+}
+
+Result<RidFetchResult> FetchRidList(const TableHeap& heap, BufferPool* pool,
+                                    const RidList& list) {
+  RidFetchResult result;
+  uint64_t fetches_before = pool->stats().fetches;
+  for (const Rid& rid : list.rids()) {
+    EPFIS_ASSIGN_OR_RETURN(PageGuard guard, pool->FetchPage(rid.page_id));
+    SlottedPage page(const_cast<char*>(guard.data()));
+    EPFIS_ASSIGN_OR_RETURN(std::string_view bytes, page.Get(rid.slot));
+    // Materialize the record (and thereby validate it) like a real
+    // RID-fetch operator would before handing it upstream.
+    EPFIS_ASSIGN_OR_RETURN(Record record,
+                           Record::Deserialize(heap.schema(), bytes));
+    (void)record;
+    ++result.records_fetched;
+  }
+  result.data_page_fetches = pool->stats().fetches - fetches_before;
+  result.data_pages_accessed = list.DistinctPages();
+  return result;
+}
+
+double EstimateRidFetchPages(double table_records, double table_pages,
+                             double k) {
+  return YaoPages(table_records, table_pages, k);
+}
+
+}  // namespace epfis

@@ -1,0 +1,77 @@
+#ifndef EPFIS_EXEC_RID_LIST_H_
+#define EPFIS_EXEC_RID_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "exec/predicate.h"
+#include "index/btree.h"
+#include "storage/table_heap.h"
+#include "util/result.h"
+
+namespace epfis {
+
+/// A sorted list of record ids, the building block of the paper's §6
+/// future-work items: "use of RID-list operations, index ANDing and
+/// ORing". §2 explicitly assumes these do NOT happen before data fetches
+/// in the main EPFIS setting; this module implements the extension.
+///
+/// RIDs are kept sorted in physical (page-major) order, so fetching the
+/// records visits each data page at most once regardless of buffer size —
+/// which is exactly why optimizers consider the RID-sort plan.
+class RidList {
+ public:
+  RidList() = default;
+
+  /// Collects the RIDs of all index entries in `range` that pass `filter`,
+  /// then sorts them physically.
+  static Result<RidList> FromIndexRange(const BTree& index,
+                                        const KeyRange& range,
+                                        const SargableFilter* filter = nullptr);
+
+  /// Builds from arbitrary RIDs (sorts and deduplicates).
+  static RidList FromRids(std::vector<Rid> rids);
+
+  /// Index ANDing: RIDs present in both lists.
+  static RidList And(const RidList& a, const RidList& b);
+
+  /// Index ORing: RIDs present in either list.
+  static RidList Or(const RidList& a, const RidList& b);
+
+  const std::vector<Rid>& rids() const { return rids_; }
+  size_t size() const { return rids_.size(); }
+  bool empty() const { return rids_.empty(); }
+
+  /// Number of distinct data pages the list touches.
+  uint64_t DistinctPages() const;
+
+ private:
+  explicit RidList(std::vector<Rid> rids) : rids_(std::move(rids)) {}
+
+  std::vector<Rid> rids_;  // Sorted ascending, unique.
+};
+
+/// Outcome of fetching a RID list's records.
+struct RidFetchResult {
+  uint64_t records_fetched = 0;
+  uint64_t data_page_fetches = 0;   ///< Physical reads through the pool.
+  uint64_t data_pages_accessed = 0; ///< == DistinctPages() of the list.
+};
+
+/// Fetches every record in `list` through `pool` in sorted order. Because
+/// the list is physically sorted, fetches == accessed pages for any pool
+/// with at least one frame.
+Result<RidFetchResult> FetchRidList(const TableHeap& heap, BufferPool* pool,
+                                    const RidList& list);
+
+/// Estimated data-page fetches for a sorted-RID fetch of k qualifying
+/// records from a table of `table_records` records on `table_pages` pages:
+/// Yao's without-replacement model of distinct pages. Buffer-independent —
+/// the whole point of sorting the RIDs first.
+double EstimateRidFetchPages(double table_records, double table_pages,
+                             double k);
+
+}  // namespace epfis
+
+#endif  // EPFIS_EXEC_RID_LIST_H_

@@ -1,0 +1,31 @@
+#ifndef EPFIS_EXEC_TABLE_SCAN_H_
+#define EPFIS_EXEC_TABLE_SCAN_H_
+
+#include <cstdint>
+
+#include "buffer/buffer_pool.h"
+#include "exec/predicate.h"
+#include "storage/table_heap.h"
+#include "util/result.h"
+
+namespace epfis {
+
+/// Outcome of a physical table scan.
+struct TableScanResult {
+  uint64_t pages_fetched = 0;      ///< Physical reads (== T on a cold pool).
+  uint64_t records_scanned = 0;    ///< All records examined.
+  uint64_t records_qualifying = 0; ///< Records passing the predicate.
+};
+
+/// Executes a full table scan through `pool` (which should be a pool over
+/// the table's data disk, sized to the buffer allocation under test),
+/// evaluating `range` against `key_column` of every record. Each page is
+/// read exactly once regardless of pool size — the T-fetch floor the paper
+/// uses as the table-scan cost.
+Result<TableScanResult> RunTableScan(const TableHeap& heap, BufferPool* pool,
+                                     const KeyRange& range,
+                                     size_t key_column);
+
+}  // namespace epfis
+
+#endif  // EPFIS_EXEC_TABLE_SCAN_H_

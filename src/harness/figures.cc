@@ -1,0 +1,88 @@
+#include "harness/figures.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/table_printer.h"
+
+namespace epfis {
+
+void PrintExperimentTable(const ExperimentResult& result, std::ostream& os) {
+  std::vector<std::string> headers = {"buffer%", "buffer_pages"};
+  for (const AlgorithmErrors& algo : result.algorithms) {
+    headers.push_back(algo.name + " err%");
+  }
+  TablePrinter table(std::move(headers));
+  for (size_t j = 0; j < result.buffer_sizes.size(); ++j) {
+    table.AddRow();
+    table.Cell(result.buffer_pct[j], 1);
+    table.Cell(result.buffer_sizes[j]);
+    for (const AlgorithmErrors& algo : result.algorithms) {
+      table.Cell(algo.error_pct[j], 1);
+    }
+  }
+  table.Print(os);
+}
+
+Status WriteExperimentCsv(const ExperimentResult& result,
+                          const std::string& label, const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::app);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open CSV file: " + path);
+  }
+  if (out.tellp() == std::streampos(0)) {
+    out << "label,buffer_pct,buffer_pages,algorithm,error_pct\n";
+  }
+  for (size_t j = 0; j < result.buffer_sizes.size(); ++j) {
+    for (const AlgorithmErrors& algo : result.algorithms) {
+      out << label << ',' << result.buffer_pct[j] << ','
+          << result.buffer_sizes[j] << ',' << algo.name << ','
+          << algo.error_pct[j] << '\n';
+    }
+  }
+  return out.good() ? Status::Ok() : Status::IoError("CSV write failed");
+}
+
+void PrintNormalizedFpfCurve(const std::string& name,
+                             const std::vector<FpfPoint>& points,
+                             uint64_t table_pages, std::ostream& os) {
+  os << "FPF curve: " << name << " (T = " << table_pages << " pages)\n";
+  TablePrinter table({"B/T", "F/T", "B(pages)", "F(fetches)"});
+  double t = static_cast<double>(table_pages);
+  for (const FpfPoint& p : points) {
+    table.AddRow();
+    table.Cell(static_cast<double>(p.buffer_size) / t, 3);
+    table.Cell(static_cast<double>(p.fetches) / t, 3);
+    table.Cell(p.buffer_size);
+    table.Cell(p.fetches);
+  }
+  table.Print(os);
+}
+
+double MaxAbsErrorPct(const ExperimentResult& result,
+                      const std::string& algorithm) {
+  for (const AlgorithmErrors& algo : result.algorithms) {
+    if (algo.name != algorithm) continue;
+    double worst = 0.0;
+    for (double e : algo.error_pct) worst = std::max(worst, std::fabs(e));
+    return worst;
+  }
+  return -1.0;
+}
+
+std::string SummarizeMaxErrors(const ExperimentResult& result) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  bool first = true;
+  for (const AlgorithmErrors& algo : result.algorithms) {
+    if (!first) os << ", ";
+    os << algo.name << " max|err| = " << MaxAbsErrorPct(result, algo.name)
+       << '%';
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace epfis

@@ -1,0 +1,39 @@
+#ifndef EPFIS_HARNESS_FIGURES_H_
+#define EPFIS_HARNESS_FIGURES_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "epfis/fpf_curve.h"
+#include "harness/experiment.h"
+#include "util/result.h"
+
+namespace epfis {
+
+/// Prints an error-vs-buffer-size experiment as an aligned table
+/// (one row per buffer size, one column per algorithm) — the tabular form
+/// of the paper's Figures 2-21.
+void PrintExperimentTable(const ExperimentResult& result, std::ostream& os);
+
+/// Appends the experiment to a CSV file, one row per (buffer, algorithm)
+/// with a leading label column (for external plotting).
+Status WriteExperimentCsv(const ExperimentResult& result,
+                          const std::string& label, const std::string& path);
+
+/// Prints an FPF curve normalized as in Figure 1: B/T on the left,
+/// F/T on the right.
+void PrintNormalizedFpfCurve(const std::string& name,
+                             const std::vector<FpfPoint>& points,
+                             uint64_t table_pages, std::ostream& os);
+
+/// Largest |error| over the sweep for the named algorithm; -1 if absent.
+double MaxAbsErrorPct(const ExperimentResult& result,
+                      const std::string& algorithm);
+
+/// One-line summary: "EPFIS max |err| = 12.3%, ML = 45.6%, ...".
+std::string SummarizeMaxErrors(const ExperimentResult& result);
+
+}  // namespace epfis
+
+#endif  // EPFIS_HARNESS_FIGURES_H_

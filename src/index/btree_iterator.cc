@@ -1,0 +1,41 @@
+#include "index/btree_iterator.h"
+
+#include "index/btree.h"
+#include "index/btree_node.h"
+
+namespace epfis {
+
+Status BTreeIterator::LoadLeaf(PageId leaf, size_t pos) {
+  valid_ = false;
+  while (leaf != kInvalidPageId) {
+    EPFIS_ASSIGN_OR_RETURN(PageGuard guard, tree_->pool_->FetchPage(leaf));
+    BTreeNodeView node(const_cast<char*>(guard.data()));
+    uint16_t n = node.count();
+    if (pos < n) {
+      entries_.clear();
+      entries_.reserve(n);
+      for (uint16_t i = 0; i < n; ++i) {
+        entries_.push_back(node.LeafEntryAt(i));
+      }
+      leaf_ = leaf;
+      next_leaf_ = node.next_leaf();
+      pos_ = pos;
+      valid_ = true;
+      return Status::Ok();
+    }
+    leaf = node.next_leaf();
+    pos = 0;
+  }
+  return Status::Ok();
+}
+
+Status BTreeIterator::Next() {
+  if (!valid_) {
+    return Status::FailedPrecondition("Next() on invalid iterator");
+  }
+  ++pos_;
+  if (pos_ < entries_.size()) return Status::Ok();
+  return LoadLeaf(next_leaf_, 0);
+}
+
+}  // namespace epfis

@@ -1,0 +1,51 @@
+#ifndef EPFIS_INDEX_BTREE_ITERATOR_H_
+#define EPFIS_INDEX_BTREE_ITERATOR_H_
+
+#include <vector>
+
+#include "index/index_entry.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace epfis {
+
+class BTree;
+
+/// Forward iterator over B+-tree entries in (key, rid) order. The iterator
+/// snapshots one leaf's entries at a time (so no page pin is held between
+/// Next() calls) and follows the leaf chain. Obtain via BTree::Begin() or
+/// BTree::SeekGE().
+class BTreeIterator {
+ public:
+  /// Constructs an invalid (end) iterator.
+  BTreeIterator() = default;
+
+  bool Valid() const { return valid_; }
+
+  /// Current entry. Precondition: Valid().
+  const IndexEntry& entry() const { return entries_[pos_]; }
+
+  /// Advances to the next entry; the iterator becomes invalid at the end.
+  Status Next();
+
+ private:
+  friend class BTree;
+
+  BTreeIterator(const BTree* tree, PageId leaf, size_t pos)
+      : tree_(tree), leaf_(leaf), pos_(pos) {}
+
+  /// Snapshots `leaf` and positions at `pos`, skipping forward through the
+  /// chain past empty/exhausted leaves.
+  Status LoadLeaf(PageId leaf, size_t pos);
+
+  const BTree* tree_ = nullptr;
+  PageId leaf_ = kInvalidPageId;
+  PageId next_leaf_ = kInvalidPageId;
+  std::vector<IndexEntry> entries_;
+  size_t pos_ = 0;
+  bool valid_ = false;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_INDEX_BTREE_ITERATOR_H_

@@ -1,0 +1,36 @@
+#ifndef EPFIS_INDEX_INDEX_ENTRY_H_
+#define EPFIS_INDEX_INDEX_ENTRY_H_
+
+#include <cstdint>
+
+#include "storage/rid.h"
+
+namespace epfis {
+
+/// One index entry: a key value plus the RID of the record holding it.
+/// Entries are ordered by (key, rid); including the RID in the ordering
+/// makes duplicate keys unambiguous throughout the tree (every entry is
+/// distinct), which keeps splits and separators simple.
+///
+/// Note: within one key value, RID order is *physical* order. The paper's
+/// "future work" mentions indexes with sorted RIDs per key value — this
+/// implementation already stores them sorted, matching that variant.
+struct IndexEntry {
+  int64_t key = 0;
+  Rid rid;
+
+  friend bool operator==(const IndexEntry& a, const IndexEntry& b) {
+    return a.key == b.key && a.rid == b.rid;
+  }
+  friend bool operator<(const IndexEntry& a, const IndexEntry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.rid < b.rid;
+  }
+  friend bool operator<=(const IndexEntry& a, const IndexEntry& b) {
+    return !(b < a);
+  }
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_INDEX_INDEX_ENTRY_H_

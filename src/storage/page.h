@@ -1,0 +1,21 @@
+#ifndef EPFIS_STORAGE_PAGE_H_
+#define EPFIS_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace epfis {
+
+/// Logical page identifier within a DiskManager. Page ids are dense and
+/// allocated sequentially starting at 0.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// Size of every on-"disk" page in bytes.
+inline constexpr size_t kPageSize = 4096;
+
+}  // namespace epfis
+
+#endif  // EPFIS_STORAGE_PAGE_H_

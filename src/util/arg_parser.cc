@@ -1,0 +1,55 @@
+#include "util/arg_parser.h"
+
+#include <cstdlib>
+
+namespace epfis {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags_[arg] = "";
+    } else {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+int64_t ArgParser::GetInt(const std::string& name, int64_t def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double ArgParser::GetDouble(const std::string& name, double def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool ArgParser::GetBool(const std::string& name, bool def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace epfis

@@ -1,0 +1,37 @@
+#ifndef EPFIS_UTIL_ARG_PARSER_H_
+#define EPFIS_UTIL_ARG_PARSER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace epfis {
+
+/// Tiny `--flag=value` / `--flag` command-line parser for the bench and
+/// example binaries. Unknown flags are collected so binaries can reject or
+/// ignore them explicitly.
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  /// True if `--name` was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// Value of `--name=value`, or `def` if absent.
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_UTIL_ARG_PARSER_H_

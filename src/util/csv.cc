@@ -1,0 +1,51 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+namespace epfis {
+
+Status CsvWriter::Open(const std::string& path,
+                       const std::vector<std::string>& header,
+                       CsvWriter* out) {
+  out->file_.open(path, std::ios::out | std::ios::trunc);
+  if (!out->file_.is_open()) {
+    return Status::IoError("cannot open CSV file: " + path);
+  }
+  out->WriteRow(header);
+  return Status::Ok();
+}
+
+void CsvWriter::WriteField(const std::string& field, bool first) {
+  if (!first) file_ << ',';
+  bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) {
+    file_ << field;
+    return;
+  }
+  file_ << '"';
+  for (char c : field) {
+    if (c == '"') file_ << '"';
+    file_ << c;
+  }
+  file_ << '"';
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!file_.is_open()) return;
+  for (size_t i = 0; i < fields.size(); ++i) WriteField(fields[i], i == 0);
+  file_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& fields) {
+  std::vector<std::string> text;
+  text.reserve(fields.size());
+  for (double v : fields) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    text.push_back(os.str());
+  }
+  WriteRow(text);
+}
+
+}  // namespace epfis

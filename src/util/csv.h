@@ -1,0 +1,43 @@
+#ifndef EPFIS_UTIL_CSV_H_
+#define EPFIS_UTIL_CSV_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace epfis {
+
+/// Minimal CSV writer for experiment output (`--csv=PATH` in the bench
+/// binaries). Fields containing commas/quotes/newlines are quoted.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  static Status Open(const std::string& path,
+                     const std::vector<std::string>& header, CsvWriter* out);
+
+  CsvWriter() = default;
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool is_open() const { return file_.is_open(); }
+
+  /// Writes one row; the field count should match the header.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with full round-trip precision.
+  void WriteRow(const std::vector<double>& fields);
+
+ private:
+  void WriteField(const std::string& field, bool first);
+
+  std::ofstream file_;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_UTIL_CSV_H_

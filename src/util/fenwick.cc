@@ -1,0 +1,45 @@
+#include "util/fenwick.h"
+
+namespace epfis {
+
+void FenwickTree::Add(size_t i, int64_t delta) {
+  for (size_t p = i + 1; p < tree_.size(); p += p & (~p + 1)) {
+    tree_[p] += delta;
+  }
+}
+
+int64_t FenwickTree::PrefixSum(size_t i) const {
+  int64_t sum = 0;
+  for (size_t p = i + 1; p > 0; p -= p & (~p + 1)) {
+    sum += tree_[p];
+  }
+  return sum;
+}
+
+int64_t FenwickTree::RangeSum(size_t lo, size_t hi) const {
+  if (lo > hi) return 0;
+  int64_t high = PrefixSum(hi);
+  int64_t low = (lo == 0) ? 0 : PrefixSum(lo - 1);
+  return high - low;
+}
+
+int64_t FenwickTree::Total() const {
+  return tree_.empty() ? 0 : PrefixSum(tree_.size() - 2);
+}
+
+void FenwickTree::Resize(size_t n) {
+  if (n + 1 <= tree_.size()) return;
+  // Rebuild from scratch: extract point values, then re-add. Resizes are
+  // rare (trace growth is known up front in all callers), so simplicity
+  // beats the in-place doubling trick.
+  std::vector<int64_t> values(tree_.size() - 1);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = RangeSum(i, i);
+  }
+  tree_.assign(n + 1, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != 0) Add(i, values[i]);
+  }
+}
+
+}  // namespace epfis

@@ -1,0 +1,114 @@
+#include "util/polynomial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace epfis {
+namespace {
+
+/// Solves the symmetric positive-definite system A x = b in place via
+/// Gaussian elimination with partial pivoting. Returns false if singular.
+bool SolveLinearSystem(std::vector<std::vector<double>>& a,
+                       std::vector<double>& b) {
+  const size_t n = b.size();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t row = col + 1; row < n; ++row) {
+      double factor = a[row][col] / a[col][col];
+      for (size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  for (size_t col = n; col-- > 0;) {
+    for (size_t k = col + 1; k < n; ++k) b[col] -= a[col][k] * b[k];
+    b[col] /= a[col][col];
+  }
+  return true;
+}
+
+}  // namespace
+
+Polynomial::Polynomial(std::vector<double> coefficients)
+    : coefficients_(std::move(coefficients)) {
+  if (coefficients_.empty()) coefficients_.push_back(0.0);
+}
+
+Result<Polynomial> Polynomial::Fit(const std::vector<Knot>& points,
+                                   int degree) {
+  if (degree < 0) {
+    return Status::InvalidArgument("polynomial degree must be >= 0");
+  }
+  const size_t n = points.size();
+  const size_t terms = static_cast<size_t>(degree) + 1;
+  if (n < terms) {
+    return Status::InvalidArgument("polynomial fit needs degree+1 points");
+  }
+
+  double x_min = points.front().x, x_max = points.front().x;
+  for (const Knot& p : points) {
+    x_min = std::min(x_min, p.x);
+    x_max = std::max(x_max, p.x);
+  }
+  double center = 0.5 * (x_min + x_max);
+  double half_range = 0.5 * (x_max - x_min);
+  if (half_range <= 0.0) {
+    return Status::InvalidArgument("polynomial fit needs distinct x values");
+  }
+
+  // Normal equations on normalized x: (V^T V) c = V^T y.
+  std::vector<std::vector<double>> ata(terms, std::vector<double>(terms, 0));
+  std::vector<double> atb(terms, 0.0);
+  for (const Knot& p : points) {
+    double u = (p.x - center) / half_range;
+    std::vector<double> powers(terms);
+    powers[0] = 1.0;
+    for (size_t t = 1; t < terms; ++t) powers[t] = powers[t - 1] * u;
+    for (size_t i = 0; i < terms; ++i) {
+      atb[i] += powers[i] * p.y;
+      for (size_t j = 0; j < terms; ++j) {
+        ata[i][j] += powers[i] * powers[j];
+      }
+    }
+  }
+  if (!SolveLinearSystem(ata, atb)) {
+    return Status::Internal("polynomial fit: singular normal equations");
+  }
+  return Polynomial(std::move(atb), center, half_range);
+}
+
+double Polynomial::Eval(double x) const {
+  double u = (x - x_center_) / x_half_range_;
+  // Horner's rule.
+  double y = 0.0;
+  for (size_t i = coefficients_.size(); i-- > 0;) {
+    y = y * u + coefficients_[i];
+  }
+  return y;
+}
+
+double SumSquaredResidual(const Polynomial& poly,
+                          const std::vector<Knot>& points) {
+  double sse = 0.0;
+  for (const Knot& p : points) {
+    double r = poly.Eval(p.x) - p.y;
+    sse += r * r;
+  }
+  return sse;
+}
+
+double MaxAbsResidual(const Polynomial& poly,
+                      const std::vector<Knot>& points) {
+  double worst = 0.0;
+  for (const Knot& p : points) {
+    worst = std::max(worst, std::fabs(poly.Eval(p.x) - p.y));
+  }
+  return worst;
+}
+
+}  // namespace epfis

@@ -1,0 +1,52 @@
+#ifndef EPFIS_UTIL_POLYNOMIAL_H_
+#define EPFIS_UTIL_POLYNOMIAL_H_
+
+#include <vector>
+
+#include "util/piecewise.h"
+#include "util/result.h"
+
+namespace epfis {
+
+/// Least-squares polynomial fit — the alternative FPF-curve representation
+/// §4.1 mentions ("Any approximation method that permits sufficiently
+/// accurate approximation (e.g., polynomial curve fitting) could be
+/// used"). Compared against the paper's line segments in
+/// bench_ablation_fit_method.
+class Polynomial {
+ public:
+  /// Coefficients in ascending-power order: p(x) = c0 + c1 x + c2 x^2 ...
+  explicit Polynomial(std::vector<double> coefficients);
+
+  /// Least-squares fit of the given degree to (x, y) samples, solved via
+  /// normal equations on x values normalized to [-1, 1] for conditioning.
+  /// Requires degree >= 0 and at least degree+1 points with distinct x.
+  static Result<Polynomial> Fit(const std::vector<Knot>& points, int degree);
+
+  double Eval(double x) const;
+
+  int degree() const { return static_cast<int>(coefficients_.size()) - 1; }
+  const std::vector<double>& coefficients() const { return coefficients_; }
+
+ private:
+  Polynomial(std::vector<double> coefficients, double x_center,
+             double x_half_range)
+      : coefficients_(std::move(coefficients)),
+        x_center_(x_center),
+        x_half_range_(x_half_range) {}
+
+  std::vector<double> coefficients_;
+  double x_center_ = 0.0;
+  double x_half_range_ = 1.0;  // Eval maps x -> (x - center) / half_range.
+};
+
+/// Total squared vertical residual of `poly` against `points`.
+double SumSquaredResidual(const Polynomial& poly,
+                          const std::vector<Knot>& points);
+
+/// Maximum absolute vertical residual of `poly` against `points`.
+double MaxAbsResidual(const Polynomial& poly, const std::vector<Knot>& points);
+
+}  // namespace epfis
+
+#endif  // EPFIS_UTIL_POLYNOMIAL_H_

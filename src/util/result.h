@@ -1,0 +1,85 @@
+#ifndef EPFIS_UTIL_RESULT_H_
+#define EPFIS_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace epfis {
+
+/// Either a value of type T or a non-OK Status explaining why the value
+/// could not be produced. Mirrors arrow::Result / absl::StatusOr.
+///
+/// A Result is never in an "OK but empty" state: constructing one from an OK
+/// status is a programming error and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit by design, mirroring StatusOr).
+  Result(T value) : value_(std::move(value)) {}
+
+  /// Constructs from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      // An OK Result must carry a value.
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK iff a value is present.
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Aborts otherwise.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) std::abort();
+  }
+
+  Status status_;  // OK iff value_ present.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the status,
+/// otherwise moves the value into `lhs` (which may be a declaration).
+#define EPFIS_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  EPFIS_ASSIGN_OR_RETURN_IMPL_(                                   \
+      EPFIS_CONCAT_(_epfis_result_, __LINE__), lhs, rexpr)
+
+#define EPFIS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define EPFIS_CONCAT_(a, b) EPFIS_CONCAT_IMPL_(a, b)
+#define EPFIS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace epfis
+
+#endif  // EPFIS_UTIL_RESULT_H_

@@ -1,0 +1,63 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace epfis {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TablePrinter& TablePrinter::AddRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TablePrinter& TablePrinter::Cell(const std::string& value) {
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TablePrinter& TablePrinter::Cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return Cell(os.str());
+}
+
+TablePrinter& TablePrinter::Cell(int64_t value) {
+  return Cell(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::Cell(uint64_t value) {
+  return Cell(std::to_string(value));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = (c < cells.size()) ? cells[c] : std::string();
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << v;
+    }
+    os << '\n';
+  };
+  os << std::right;
+  print_row(headers_);
+  std::string sep;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    if (c > 0) sep += "  ";
+    sep += std::string(widths[c], '-');
+  }
+  os << sep << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace epfis

@@ -1,0 +1,38 @@
+#ifndef EPFIS_UTIL_TABLE_PRINTER_H_
+#define EPFIS_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace epfis {
+
+/// Accumulates rows and prints an aligned ASCII table, used by the bench
+/// binaries to emit paper-style tables and figure series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Starts a new row.
+  TablePrinter& AddRow();
+
+  /// Appends one cell to the current row.
+  TablePrinter& Cell(const std::string& value);
+  TablePrinter& Cell(double value, int precision = 2);
+  TablePrinter& Cell(int64_t value);
+  TablePrinter& Cell(uint64_t value);
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_UTIL_TABLE_PRINTER_H_

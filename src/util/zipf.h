@@ -1,0 +1,47 @@
+#ifndef EPFIS_UTIL_ZIPF_H_
+#define EPFIS_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/result.h"
+
+namespace epfis {
+
+/// Generalized Zipf distribution over ranks 1..n with parameter theta
+/// (Knuth 1973 vol. 3; the parameterization popularized by Gray et al.):
+/// P(rank i) proportional to (1/i)^theta. theta = 0 yields the uniform
+/// distribution; theta ~= 0.86 yields the "80-20" rule the paper uses to
+/// model skewed duplicate counts.
+class ZipfDistribution {
+ public:
+  /// Creates a distribution over ranks 1..n. Fails if n == 0 or theta < 0.
+  static Result<ZipfDistribution> Make(uint64_t n, double theta);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Probability mass of rank i (1-based). Precondition: 1 <= i <= n.
+  double Pmf(uint64_t i) const;
+
+  /// Samples a rank in [1, n] by inverse-CDF binary search.
+  uint64_t Sample(Rng& rng) const;
+
+  /// Apportions `total` items over the n ranks proportionally to the pmf,
+  /// guaranteeing every rank receives at least one item when total >= n
+  /// (the paper's datasets have every distinct key present). Uses
+  /// largest-remainder rounding so the counts sum to exactly `total`.
+  std::vector<uint64_t> ApportionCounts(uint64_t total) const;
+
+ private:
+  ZipfDistribution(uint64_t n, double theta, std::vector<double> cdf);
+
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i+1), size n.
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_UTIL_ZIPF_H_

@@ -1,0 +1,67 @@
+#ifndef EPFIS_WORKLOAD_GWL_H_
+#define EPFIS_WORKLOAD_GWL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/data_gen.h"
+#include "workload/dataset.h"
+
+namespace epfis {
+
+/// Shape of one indexed column of the Great-West Life benchmark database as
+/// reported in Tables 2 and 3 of the paper. The GWL data itself is
+/// proprietary; SynthesizeGwlColumn builds a dataset matching these
+/// published statistics (see DESIGN.md, substitutions).
+struct GwlColumnSpec {
+  std::string name;           ///< e.g. "CMAC.BRAN".
+  uint32_t pages;             ///< Table 2: pages in the table (T).
+  uint32_t records_per_page;  ///< Table 2: records per page (R).
+  uint64_t column_cardinality;  ///< Table 3: distinct values (I).
+  double target_clustering;     ///< Table 3: C, as a fraction in [0, 1].
+};
+
+/// The eight GWL columns of Tables 2-3.
+const std::vector<GwlColumnSpec>& GwlColumns();
+
+/// Lookup by name (e.g. "INAP.UWID").
+Result<GwlColumnSpec> GwlColumnByName(const std::string& name);
+
+/// Options for GWL synthesis.
+struct GwlOptions {
+  /// Linear scale factor applied to pages and cardinality (1.0 = the
+  /// paper's sizes). Scaling preserves records/page and the target C.
+  double scale = 1.0;
+  uint64_t seed = 42;
+  /// |measured C - target C| accepted by the calibration loop.
+  double tolerance = 0.015;
+  int max_iterations = 12;
+  double noise = 0.05;
+};
+
+/// A synthesized GWL-like dataset plus how the calibration landed.
+struct GwlSynthesis {
+  std::unique_ptr<Dataset> dataset;
+  SyntheticSpec spec;      ///< The spec that produced the dataset.
+  double calibrated_k = 0; ///< Window fraction found by bisection.
+  double measured_c = 0;   ///< Clustering factor of the synthesized data.
+};
+
+/// Synthesizes a dataset matching `column`: N = T*R records over
+/// ceil(scale*T) pages with ceil(scale*I) distinct values, with the window
+/// parameter K bisected until the measured clustering factor C matches the
+/// paper's Table 3 value within tolerance. C is measured exactly as LRU-Fit
+/// defines it: C = (N - F_min) / (N - T) with F_min the full-scan fetch
+/// count at B_min = max(0.01 T, 12).
+Result<GwlSynthesis> SynthesizeGwlColumn(const GwlColumnSpec& column,
+                                         const GwlOptions& options = {});
+
+/// Measures the clustering factor of a placement (shared with the
+/// calibration loop; exposed for tests).
+double MeasureClusteringFactor(const Placement& placement);
+
+}  // namespace epfis
+
+#endif  // EPFIS_WORKLOAD_GWL_H_

@@ -1,0 +1,70 @@
+#include "buffer/lru_replacer.h"
+
+#include <gtest/gtest.h>
+
+namespace epfis {
+namespace {
+
+TEST(LruReplacerTest, EvictsLeastRecentlyUsed) {
+  LruReplacer replacer;
+  for (FrameId f : {0u, 1u, 2u}) {
+    replacer.RecordAccess(f);
+    replacer.SetEvictable(f, true);
+  }
+  EXPECT_EQ(replacer.Evict(), std::optional<FrameId>(0));
+  EXPECT_EQ(replacer.Evict(), std::optional<FrameId>(1));
+  EXPECT_EQ(replacer.Evict(), std::optional<FrameId>(2));
+  EXPECT_EQ(replacer.Evict(), std::nullopt);
+}
+
+TEST(LruReplacerTest, RecordAccessMovesToMru) {
+  LruReplacer replacer;
+  for (FrameId f : {0u, 1u, 2u}) {
+    replacer.RecordAccess(f);
+    replacer.SetEvictable(f, true);
+  }
+  replacer.RecordAccess(0);  // 0 becomes most recent.
+  EXPECT_EQ(replacer.Evict(), std::optional<FrameId>(1));
+  EXPECT_EQ(replacer.Evict(), std::optional<FrameId>(2));
+  EXPECT_EQ(replacer.Evict(), std::optional<FrameId>(0));
+}
+
+TEST(LruReplacerTest, PinnedFramesSkipped) {
+  LruReplacer replacer;
+  for (FrameId f : {0u, 1u, 2u}) {
+    replacer.RecordAccess(f);
+    replacer.SetEvictable(f, true);
+  }
+  replacer.SetEvictable(0, false);
+  EXPECT_EQ(replacer.Evict(), std::optional<FrameId>(1));
+  replacer.SetEvictable(0, true);
+  EXPECT_EQ(replacer.Evict(), std::optional<FrameId>(0));
+}
+
+TEST(LruReplacerTest, AllPinnedYieldsNullopt) {
+  LruReplacer replacer;
+  replacer.RecordAccess(0);
+  replacer.SetEvictable(0, false);
+  EXPECT_EQ(replacer.Evict(), std::nullopt);
+}
+
+TEST(LruReplacerTest, RemoveDropsFrame) {
+  LruReplacer replacer;
+  replacer.RecordAccess(0);
+  replacer.SetEvictable(0, true);
+  replacer.RecordAccess(1);
+  replacer.SetEvictable(1, true);
+  replacer.Remove(0);
+  EXPECT_EQ(replacer.num_tracked(), 1u);
+  EXPECT_EQ(replacer.Evict(), std::optional<FrameId>(1));
+  replacer.Remove(42);  // Unknown frame: no-op.
+}
+
+TEST(LruReplacerTest, SetEvictableOnUnknownFrameRegistersIt) {
+  LruReplacer replacer;
+  replacer.SetEvictable(7, true);
+  EXPECT_EQ(replacer.Evict(), std::optional<FrameId>(7));
+}
+
+}  // namespace
+}  // namespace epfis

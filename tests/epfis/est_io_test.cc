@@ -1,0 +1,192 @@
+#include "epfis/est_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/formulas.h"
+
+namespace epfis {
+namespace {
+
+// Catalog entry for a mildly unclustered index over a 1000-page,
+// 40000-record table: FPF falls from 30000 fetches at B=12 to 1000 at B=T.
+IndexStats MakeStats(double clustering = 0.5) {
+  IndexStats stats;
+  stats.index_name = "test";
+  stats.table_pages = 1000;
+  stats.table_records = 40000;
+  stats.distinct_keys = 2000;
+  stats.pages_accessed = 1000;
+  stats.b_min = 12;
+  stats.b_max = 1000;
+  stats.f_min = 30000;
+  stats.clustering = clustering;
+  stats.fpf = PiecewiseLinear::FromKnots({{12, 30000},
+                                          {100, 15000},
+                                          {300, 6000},
+                                          {600, 2500},
+                                          {1000, 1000}})
+                  .value();
+  return stats;
+}
+
+TEST(EstIoTest, FullScanFollowsCurve) {
+  IndexStats stats = MakeStats();
+  EXPECT_NEAR(EstimateFullScanFetches(stats, 12), 30000, 1e-9);
+  EXPECT_NEAR(EstimateFullScanFetches(stats, 100), 15000, 1e-9);
+  EXPECT_NEAR(EstimateFullScanFetches(stats, 200), 10500, 1e-9);  // Interp.
+  EXPECT_NEAR(EstimateFullScanFetches(stats, 1000), 1000, 1e-9);
+}
+
+TEST(EstIoTest, ZeroSelectivityIsZero) {
+  IndexStats stats = MakeStats();
+  EXPECT_EQ(EstimatePageFetches(stats, {0.0, 1.0, 500}), 0.0);
+  EXPECT_EQ(EstimatePageFetches(stats, {0.5, 0.0, 500}), 0.0);
+}
+
+TEST(EstIoTest, FullScanSigmaOneMatchesCurveValue) {
+  IndexStats stats = MakeStats();
+  // sigma = 1: nu triggers only if phi >= 3, impossible with B <= T under
+  // the paper's phi = max(1, B/T); estimate is exactly PF_B.
+  ScanSpec scan{1.0, 1.0, 300};
+  EXPECT_NEAR(EstimatePageFetches(stats, scan), 6000.0, 1e-9);
+}
+
+TEST(EstIoTest, LargeSigmaScalesLinearly) {
+  IndexStats stats = MakeStats();
+  // sigma = 0.5 > 1/3: correction off; estimate = sigma * PF_B.
+  ScanSpec scan{0.5, 1.0, 300};
+  EXPECT_NEAR(EstimatePageFetches(stats, scan), 3000.0, 1e-9);
+}
+
+TEST(EstIoTest, SmallSigmaGetsCorrection) {
+  IndexStats stats = MakeStats(0.2);  // Quite unclustered.
+  double sigma = 0.01;
+  uint64_t b = 500;
+  double base = sigma * EstimateFullScanFetches(stats, b);
+  double est = EstimatePageFetches(stats, {sigma, 1.0, b});
+  EXPECT_GT(est, base);  // Correction term added.
+
+  // Hand-compute Equation 1: phi = max(1, 0.5) = 1, nu = 1 (1 >= 0.03),
+  // damping = min(1, 1/(6*0.01)) = 1.
+  double cardenas = CardenasPages(1000.0, sigma * 40000.0);
+  double expected = base + 1.0 * (1.0 - 0.2) * cardenas;
+  EXPECT_NEAR(est, expected, 1e-9);
+}
+
+TEST(EstIoTest, CorrectionDampedNearThreshold) {
+  IndexStats stats = MakeStats(0.0);
+  // sigma = 0.3: nu = 1 (1 >= 0.9), damping = min(1, 1/1.8) = 0.5556.
+  double sigma = 0.3;
+  double est = EstimatePageFetches(stats, {sigma, 1.0, 500});
+  double base = sigma * EstimateFullScanFetches(stats, 500);
+  double damping = 1.0 / (6.0 * sigma);
+  double cardenas = CardenasPages(1000.0, sigma * 40000.0);
+  EXPECT_NEAR(est, base + damping * cardenas, 1e-9);
+}
+
+TEST(EstIoTest, NoCorrectionAboveNuThreshold) {
+  IndexStats stats = MakeStats(0.0);
+  // sigma = 0.4 > 1/3: nu = 0 under phi = 1.
+  double est = EstimatePageFetches(stats, {0.4, 1.0, 500});
+  EXPECT_NEAR(est, 0.4 * EstimateFullScanFetches(stats, 500), 1e-9);
+}
+
+TEST(EstIoTest, ClusteredIndexGetsNoCorrection) {
+  IndexStats stats = MakeStats(1.0);  // (1 - C) = 0 kills the term.
+  double sigma = 0.01;
+  double est = EstimatePageFetches(stats, {sigma, 1.0, 500});
+  EXPECT_NEAR(est, sigma * EstimateFullScanFetches(stats, 500), 1e-9);
+}
+
+TEST(EstIoTest, CorrectionCanBeDisabled) {
+  IndexStats stats = MakeStats(0.0);
+  EstIoOptions options;
+  options.enable_correction = false;
+  double est = EstimatePageFetches(stats, {0.01, 1.0, 500}, options);
+  EXPECT_NEAR(est, 0.01 * EstimateFullScanFetches(stats, 500), 1e-9);
+}
+
+TEST(EstIoTest, PhiMinModeShrinksCorrectionForSmallBuffers) {
+  IndexStats stats = MakeStats(0.0);
+  EstIoOptions min_mode;
+  min_mode.phi_mode = PhiMode::kMin;
+  // B/T = 0.6, sigma = 0.15: both modes trigger nu, but min-mode damping
+  // is 0.6/0.9 < 1 while max-mode damping saturates at 1. (sigma is large
+  // enough that the final estimate stays below the qualifying-records
+  // clamp in both modes.)
+  double est_max = EstimatePageFetches(stats, {0.15, 1.0, 600});
+  double est_min = EstimatePageFetches(stats, {0.15, 1.0, 600}, min_mode);
+  EXPECT_LT(est_min, est_max);
+  // And with sigma large relative to B/T, min-mode disables nu entirely:
+  // phi_min = 0.6 < 3 * 0.25 while phi_max = 1 >= 0.75.
+  double est_min2 = EstimatePageFetches(stats, {0.25, 1.0, 600}, min_mode);
+  EXPECT_NEAR(est_min2, 0.25 * EstimateFullScanFetches(stats, 600), 1e-9);
+  double est_max2 = EstimatePageFetches(stats, {0.25, 1.0, 600});
+  EXPECT_GT(est_max2, est_min2);
+}
+
+TEST(EstIoTest, SargablePredicateReducesEstimate) {
+  IndexStats stats = MakeStats(0.5);
+  ScanSpec plain{0.2, 1.0, 500};
+  ScanSpec filtered{0.2, 0.1, 500};
+  double est_plain = EstimatePageFetches(stats, plain);
+  double est_filtered = EstimatePageFetches(stats, filtered);
+  EXPECT_LT(est_filtered, est_plain);
+  EXPECT_GT(est_filtered, 0.0);
+}
+
+TEST(EstIoTest, SargableMatchesUrnFormula) {
+  IndexStats stats = MakeStats(0.5);
+  double sigma = 0.5, s = 0.25;
+  uint64_t b = 300;
+  double base = EstimatePageFetches(stats, {sigma, 1.0, b});
+  double t = 1000, n = 40000, c = 0.5;
+  double q = c * sigma * t + (1 - c) * std::min(t, sigma * n);
+  double k = s * sigma * n;
+  double factor = 1.0 - std::pow(1.0 - 1.0 / q, k);
+  EXPECT_NEAR(EstimatePageFetches(stats, {sigma, s, b}), base * factor,
+              1e-6 * base);
+}
+
+TEST(EstIoTest, NeverExceedsQualifyingRecords) {
+  IndexStats stats = MakeStats(0.0);
+  for (double sigma : {0.001, 0.01, 0.1, 0.5, 1.0}) {
+    for (double s : {0.01, 0.5, 1.0}) {
+      for (uint64_t b : {12ULL, 100ULL, 1000ULL}) {
+        double est = EstimatePageFetches(stats, {sigma, s, b});
+        EXPECT_LE(est, sigma * s * 40000.0 + 1e-9)
+            << "sigma=" << sigma << " s=" << s << " b=" << b;
+        EXPECT_GE(est, 0.0);
+      }
+    }
+  }
+}
+
+TEST(EstIoTest, SigmaClampedToUnitInterval) {
+  IndexStats stats = MakeStats();
+  double over = EstimatePageFetches(stats, {1.7, 1.0, 300});
+  double exact = EstimatePageFetches(stats, {1.0, 1.0, 300});
+  EXPECT_DOUBLE_EQ(over, exact);
+}
+
+TEST(EstIoTest, MonotoneInBufferSizeForFullScans) {
+  IndexStats stats = MakeStats();
+  double prev = 1e300;
+  for (uint64_t b = 12; b <= 1000; b += 50) {
+    double est = EstimatePageFetches(stats, {1.0, 1.0, b});
+    EXPECT_LE(est, prev + 1e-9) << "b=" << b;
+    prev = est;
+  }
+}
+
+TEST(EstIoTest, MissingCurveYieldsZeroFullScan) {
+  IndexStats stats;  // No fpf set.
+  stats.table_pages = 10;
+  stats.table_records = 100;
+  EXPECT_EQ(stats.FullScanFetches(5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace epfis

@@ -1,0 +1,87 @@
+#include "epfis/fpf_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace epfis {
+namespace {
+
+TEST(BufferScheduleTest, RejectsBadRange) {
+  EXPECT_FALSE(
+      MakeBufferSchedule(0, 10, BufferSchedule::kPaperLinear).ok());
+  EXPECT_FALSE(
+      MakeBufferSchedule(10, 5, BufferSchedule::kPaperLinear).ok());
+}
+
+TEST(BufferScheduleTest, DegenerateSinglePoint) {
+  auto sizes = MakeBufferSchedule(7, 7, BufferSchedule::kPaperLinear);
+  ASSERT_TRUE(sizes.ok());
+  ASSERT_EQ(sizes->size(), 1u);
+  EXPECT_EQ((*sizes)[0], 7u);
+}
+
+TEST(BufferScheduleTest, LinearEndpointsAndSpacing) {
+  // Range 12..1012: step = 2*sqrt(1000) ~= 63.2.
+  auto sizes = MakeBufferSchedule(12, 1012, BufferSchedule::kPaperLinear);
+  ASSERT_TRUE(sizes.ok());
+  EXPECT_EQ(sizes->front(), 12u);
+  EXPECT_EQ(sizes->back(), 1012u);
+  double step = 2.0 * std::sqrt(1000.0);
+  for (size_t i = 2; i + 1 < sizes->size(); ++i) {
+    double gap = static_cast<double>((*sizes)[i] - (*sizes)[i - 1]);
+    EXPECT_NEAR(gap, step, 1.5) << "i=" << i;
+  }
+}
+
+TEST(BufferScheduleTest, StrictlyIncreasing) {
+  for (auto schedule :
+       {BufferSchedule::kPaperLinear, BufferSchedule::kGraefeGeometric}) {
+    for (uint64_t b_max : {13ULL, 100ULL, 5000ULL, 100000ULL}) {
+      auto sizes = MakeBufferSchedule(12, b_max, schedule);
+      ASSERT_TRUE(sizes.ok());
+      for (size_t i = 1; i < sizes->size(); ++i) {
+        ASSERT_LT((*sizes)[i - 1], (*sizes)[i]);
+      }
+      EXPECT_EQ(sizes->front(), 12u);
+      EXPECT_EQ(sizes->back(), b_max);
+    }
+  }
+}
+
+TEST(BufferScheduleTest, PointCountGrowsSlowerThanRange) {
+  // ~sqrt growth: quadrupling the range should roughly double the points.
+  auto small = MakeBufferSchedule(12, 1012, BufferSchedule::kPaperLinear);
+  auto large = MakeBufferSchedule(12, 4012, BufferSchedule::kPaperLinear);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  double ratio = static_cast<double>(large->size()) /
+                 static_cast<double>(small->size());
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.6);
+}
+
+TEST(BufferScheduleTest, GeometricDensestAtSmallSizes) {
+  auto sizes = MakeBufferSchedule(12, 10000, BufferSchedule::kGraefeGeometric);
+  ASSERT_TRUE(sizes.ok());
+  ASSERT_GE(sizes->size(), 4u);
+  // Gaps grow with B under the geometric schedule.
+  uint64_t first_gap = (*sizes)[1] - (*sizes)[0];
+  uint64_t last_gap = (*sizes)[sizes->size() - 1] - (*sizes)[sizes->size() - 2];
+  EXPECT_LT(first_gap, last_gap);
+}
+
+TEST(BufferScheduleTest, GeometricMatchesLinearPointCountApproximately) {
+  auto linear = MakeBufferSchedule(12, 5000, BufferSchedule::kPaperLinear);
+  auto geo = MakeBufferSchedule(12, 5000, BufferSchedule::kGraefeGeometric);
+  ASSERT_TRUE(linear.ok());
+  ASSERT_TRUE(geo.ok());
+  // Same catalog footprint: counts within ~20% of each other.
+  double ratio =
+      static_cast<double>(geo->size()) / static_cast<double>(linear->size());
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.3);
+}
+
+}  // namespace
+}  // namespace epfis

@@ -1,0 +1,125 @@
+#include "exec/external_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "workload/data_gen.h"
+
+namespace epfis {
+namespace {
+
+class ExternalSortTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticSpec spec;
+    spec.num_records = 10000;
+    spec.num_distinct = 500;
+    spec.records_per_page = 20;  // T = 500 pages.
+    spec.window_fraction = 1.0;  // Scrambled: sorting has work to do.
+    spec.seed = 131;
+    auto dataset = GenerateSynthetic(spec);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+  }
+
+  std::vector<int64_t> ExpectedSortedKeys(const KeyRange& range) {
+    std::vector<int64_t> keys;
+    const auto& counts = dataset_->key_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      int64_t key = static_cast<int64_t>(i) + 1;
+      if (!range.Contains(key)) continue;
+      keys.insert(keys.end(), counts[i], key);
+    }
+    return keys;
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+};
+
+TEST_F(ExternalSortTest, ValidatesArguments) {
+  auto pool = dataset_->MakeDataPool(16);
+  EXPECT_FALSE(ExternalSortTable(*dataset_->table(), pool.get(),
+                                 KeyRange::All(), 0, 0)
+                   .ok());
+  EXPECT_FALSE(ExternalSortTable(*dataset_->table(), pool.get(),
+                                 KeyRange::All(), 7, 4)
+                   .ok());
+}
+
+TEST_F(ExternalSortTest, InMemoryWhenItFits) {
+  auto pool = dataset_->MakeDataPool(16);
+  // 10000 keys need 10000*8/4096 ~= 20 scratch pages; give 64.
+  auto result = ExternalSortTable(*dataset_->table(), pool.get(),
+                                  KeyRange::All(), 0, 64);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records, 10000u);
+  EXPECT_EQ(result->scratch_pages_written, 0u);
+  EXPECT_EQ(result->scratch_pages_read, 0u);
+  EXPECT_EQ(result->runs, 1u);
+  EXPECT_EQ(result->sorted_keys, ExpectedSortedKeys(KeyRange::All()));
+}
+
+TEST_F(ExternalSortTest, SpillsAndMergesCorrectly) {
+  auto pool = dataset_->MakeDataPool(16);
+  // 2 scratch pages of work memory -> 1024 keys per run -> ~10 runs.
+  auto result = ExternalSortTable(*dataset_->table(), pool.get(),
+                                  KeyRange::All(), 0, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records, 10000u);
+  EXPECT_GE(result->runs, 9u);
+  EXPECT_GT(result->scratch_pages_written, 0u);
+  EXPECT_EQ(result->scratch_pages_written, result->scratch_pages_read);
+  EXPECT_EQ(result->sorted_keys, ExpectedSortedKeys(KeyRange::All()));
+}
+
+TEST_F(ExternalSortTest, RangeRestrictsInput) {
+  auto pool = dataset_->MakeDataPool(16);
+  KeyRange range = KeyRange::Closed(100, 200);
+  auto result = ExternalSortTable(*dataset_->table(), pool.get(), range, 0,
+                                  2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records, dataset_->RecordsInRange(100, 200));
+  EXPECT_EQ(result->sorted_keys, ExpectedSortedKeys(range));
+}
+
+TEST_F(ExternalSortTest, EmptyRangeSortsNothing) {
+  auto pool = dataset_->MakeDataPool(16);
+  auto result = ExternalSortTable(*dataset_->table(), pool.get(),
+                                  KeyRange::Closed(900, 999), 0, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records, 0u);
+  EXPECT_EQ(result->runs, 0u);
+  EXPECT_TRUE(result->sorted_keys.empty());
+}
+
+TEST_F(ExternalSortTest, MeasuredIoFactorNearModeledTwo) {
+  // The optimizer models a sort as sort_io_factor (default 2.0) extra I/Os
+  // per input page: one write + one read of the spilled data. Measure it.
+  auto pool = dataset_->MakeDataPool(16);
+  auto result = ExternalSortTable(*dataset_->table(), pool.get(),
+                                  KeyRange::All(), 0, 2);
+  ASSERT_TRUE(result.ok());
+  // Keys are 8 of the ~200 bytes per record, so scratch pages are ~1/25 of
+  // the input pages — scale accordingly: factor per *scratch-resident*
+  // page is exactly 2 (write once, read once).
+  uint64_t scratch_resident =
+      (result->records * sizeof(int64_t) + kPageSize - 1) / kPageSize;
+  double factor = static_cast<double>(result->scratch_pages_written +
+                                      result->scratch_pages_read) /
+                  static_cast<double>(scratch_resident);
+  EXPECT_NEAR(factor, 2.0, 0.2);
+}
+
+TEST_F(ExternalSortTest, InputPagesReadExactlyOnce) {
+  auto pool = dataset_->MakeDataPool(8);
+  uint64_t before = pool->stats().fetches;
+  auto result = ExternalSortTable(*dataset_->table(), pool.get(),
+                                  KeyRange::All(), 0, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(pool->stats().fetches - before, dataset_->num_pages());
+}
+
+}  // namespace
+}  // namespace epfis

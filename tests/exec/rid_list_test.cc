@@ -1,0 +1,204 @@
+#include "exec/rid_list.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/index_scan.h"
+#include "exec/multi_index.h"
+#include "util/formulas.h"
+#include "workload/data_gen.h"
+
+namespace epfis {
+namespace {
+
+TEST(RidListTest, FromRidsSortsAndDedupes) {
+  RidList list = RidList::FromRids(
+      {Rid{5, 1}, Rid{2, 3}, Rid{5, 1}, Rid{2, 0}, Rid{9, 9}});
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list.rids()[0], (Rid{2, 0}));
+  EXPECT_EQ(list.rids()[1], (Rid{2, 3}));
+  EXPECT_EQ(list.rids()[2], (Rid{5, 1}));
+  EXPECT_EQ(list.rids()[3], (Rid{9, 9}));
+  EXPECT_EQ(list.DistinctPages(), 3u);
+}
+
+TEST(RidListTest, AndOrSemantics) {
+  RidList a = RidList::FromRids({Rid{1, 0}, Rid{2, 0}, Rid{3, 0}});
+  RidList b = RidList::FromRids({Rid{2, 0}, Rid{3, 0}, Rid{4, 0}});
+  RidList both = RidList::And(a, b);
+  RidList either = RidList::Or(a, b);
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both.rids()[0].page_id, 2u);
+  EXPECT_EQ(both.rids()[1].page_id, 3u);
+  ASSERT_EQ(either.size(), 4u);
+  EXPECT_EQ(either.rids().front().page_id, 1u);
+  EXPECT_EQ(either.rids().back().page_id, 4u);
+}
+
+TEST(RidListTest, AndOrWithEmpty) {
+  RidList a = RidList::FromRids({Rid{1, 0}});
+  RidList empty;
+  EXPECT_EQ(RidList::And(a, empty).size(), 0u);
+  EXPECT_EQ(RidList::Or(a, empty).size(), 1u);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.DistinctPages(), 0u);
+}
+
+class RidListDatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticSpec spec;
+    spec.num_records = 8000;
+    spec.num_distinct = 200;
+    spec.records_per_page = 20;
+    spec.window_fraction = 0.5;  // Unclustered: sorting matters.
+    spec.secondary_distinct = 50;
+    spec.seed = 91;
+    auto dataset = GenerateSynthetic(spec);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+};
+
+TEST_F(RidListDatasetTest, FromIndexRangeMatchesRecordCount) {
+  auto list = RidList::FromIndexRange(*dataset_->index(),
+                                      KeyRange::Closed(10, 40));
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), dataset_->RecordsInRange(10, 40));
+}
+
+TEST_F(RidListDatasetTest, SortedFetchIsBufferIndependent) {
+  auto list = RidList::FromIndexRange(*dataset_->index(),
+                                      KeyRange::Closed(1, 100));
+  ASSERT_TRUE(list.ok());
+  uint64_t expected_pages = list->DistinctPages();
+  for (size_t pool_size : {1u, 8u, 64u, 400u}) {
+    auto pool = dataset_->MakeDataPool(pool_size);
+    auto fetch = FetchRidList(*dataset_->table(), pool.get(), *list);
+    ASSERT_TRUE(fetch.ok());
+    // Sorted order: each distinct page fetched exactly once, even B=1.
+    EXPECT_EQ(fetch->data_page_fetches, expected_pages)
+        << "pool=" << pool_size;
+    EXPECT_EQ(fetch->data_pages_accessed, expected_pages);
+    EXPECT_EQ(fetch->records_fetched, list->size());
+  }
+}
+
+TEST_F(RidListDatasetTest, SortedFetchBeatsUnsortedScanOnSmallBuffers) {
+  KeyRange range = KeyRange::Closed(1, 150);
+  auto list = RidList::FromIndexRange(*dataset_->index(), range);
+  ASSERT_TRUE(list.ok());
+  auto rid_pool = dataset_->MakeDataPool(4);
+  auto rid_fetch =
+      FetchRidList(*dataset_->table(), rid_pool.get(), *list).value();
+
+  auto scan_pool = dataset_->MakeDataPool(4);
+  auto scan = RunIndexScan(*dataset_->index(), *dataset_->table(),
+                           scan_pool.get(), range)
+                  .value();
+  EXPECT_LT(rid_fetch.data_page_fetches, scan.data_page_fetches);
+}
+
+TEST_F(RidListDatasetTest, YaoEstimateTracksRidFetch) {
+  // Yao's model assumes uniformly random record placement. On a K=1
+  // (uniform) dataset it must be tight; on the windowed fixture it can
+  // only overestimate (clustering concentrates records onto fewer pages).
+  SyntheticSpec spec;
+  spec.num_records = 8000;
+  spec.num_distinct = 200;
+  spec.records_per_page = 20;
+  spec.window_fraction = 1.0;
+  spec.noise = 0.0;
+  spec.seed = 92;
+  auto uniform = GenerateSynthetic(spec);
+  ASSERT_TRUE(uniform.ok());
+
+  for (int64_t hi : {20, 60, 140}) {
+    auto list = RidList::FromIndexRange(*(*uniform)->index(),
+                                        KeyRange::Closed(1, hi));
+    ASSERT_TRUE(list.ok());
+    double k = static_cast<double>(list->size());
+    double est = EstimateRidFetchPages(
+        static_cast<double>((*uniform)->num_records()),
+        static_cast<double>((*uniform)->num_pages()), k);
+    double actual = static_cast<double>(list->DistinctPages());
+    EXPECT_NEAR(est, actual, 0.08 * actual + 5.0) << "hi=" << hi;
+  }
+
+  // Windowed fixture: Yao is an upper bound (within noise).
+  auto list = RidList::FromIndexRange(*dataset_->index(),
+                                      KeyRange::Closed(1, 60));
+  ASSERT_TRUE(list.ok());
+  double est = EstimateRidFetchPages(
+      static_cast<double>(dataset_->num_records()),
+      static_cast<double>(dataset_->num_pages()),
+      static_cast<double>(list->size()));
+  EXPECT_GE(est, 0.95 * static_cast<double>(list->DistinctPages()));
+}
+
+TEST_F(RidListDatasetTest, MultiIndexAndOrExecution) {
+  KeyRange r1 = KeyRange::Closed(1, 100);   // Half the primary domain.
+  KeyRange r2 = KeyRange::Closed(1, 25);    // Half the secondary domain.
+  auto pool = dataset_->MakeDataPool(32);
+  auto anded = RunMultiIndexScan(*dataset_->index(), r1, *dataset_->index2(),
+                                 r2, IndexCombineOp::kAnd,
+                                 *dataset_->table(), pool.get());
+  ASSERT_TRUE(anded.ok());
+  auto pool2 = dataset_->MakeDataPool(32);
+  auto ored = RunMultiIndexScan(*dataset_->index(), r1, *dataset_->index2(),
+                                r2, IndexCombineOp::kOr, *dataset_->table(),
+                                pool2.get());
+  ASSERT_TRUE(ored.ok());
+
+  uint64_t n1 = dataset_->RecordsInRange(1, 100);
+  uint64_t n2 = dataset_->SecondaryRecordsInRange(1, 25);
+  EXPECT_EQ(anded->rids_from_first, n1);
+  EXPECT_EQ(anded->rids_from_second, n2);
+  // Inclusion-exclusion ties the two executions together exactly.
+  EXPECT_EQ(anded->rids_combined + ored->rids_combined, n1 + n2);
+  EXPECT_LE(anded->rids_combined, std::min(n1, n2));
+  EXPECT_GE(ored->rids_combined, std::max(n1, n2));
+  // Sorted fetches: one per distinct page.
+  EXPECT_EQ(anded->data_page_fetches, anded->data_pages_accessed);
+  EXPECT_EQ(ored->data_page_fetches, ored->data_pages_accessed);
+}
+
+TEST_F(RidListDatasetTest, MultiIndexEstimatesTrackMeasurement) {
+  double n = static_cast<double>(dataset_->num_records());
+  double t = static_cast<double>(dataset_->num_pages());
+  double sigma1 =
+      static_cast<double>(dataset_->RecordsInRange(1, 100)) / n;
+  double sigma2 =
+      static_cast<double>(dataset_->SecondaryRecordsInRange(1, 25)) / n;
+
+  auto pool = dataset_->MakeDataPool(32);
+  auto anded = RunMultiIndexScan(*dataset_->index(), KeyRange::Closed(1, 100),
+                                 *dataset_->index2(), KeyRange::Closed(1, 25),
+                                 IndexCombineOp::kAnd, *dataset_->table(),
+                                 pool.get())
+                   .value();
+  double est_records =
+      EstimateCombinedRecords(n, sigma1, sigma2, IndexCombineOp::kAnd);
+  EXPECT_NEAR(est_records, static_cast<double>(anded.rids_combined),
+              0.15 * est_records + 20.0);
+  double est_pages = EstimateMultiIndexFetchPages(n, t, sigma1, sigma2,
+                                                  IndexCombineOp::kAnd);
+  EXPECT_NEAR(est_pages, static_cast<double>(anded.data_page_fetches),
+              0.30 * est_pages + 20.0);
+}
+
+TEST(MultiIndexEstimateTest, CombinationFormulas) {
+  EXPECT_DOUBLE_EQ(
+      EstimateCombinedRecords(1000, 0.5, 0.2, IndexCombineOp::kAnd), 100.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateCombinedRecords(1000, 0.5, 0.2, IndexCombineOp::kOr), 600.0);
+  // OR of anything with a full predicate is the full table.
+  EXPECT_DOUBLE_EQ(
+      EstimateCombinedRecords(1000, 1.0, 0.3, IndexCombineOp::kOr), 1000.0);
+}
+
+}  // namespace
+}  // namespace epfis

@@ -1,0 +1,149 @@
+#include "harness/contention.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/data_gen.h"
+
+namespace epfis {
+namespace {
+
+class ContentionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticSpec spec;
+    spec.num_records = 12000;
+    spec.num_distinct = 300;
+    spec.records_per_page = 20;
+    spec.window_fraction = 0.4;
+    spec.seed = 101;
+    auto dataset = GenerateSynthetic(spec);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    gen_ = std::make_unique<ScanGenerator>(dataset_.get(), 5);
+  }
+
+  std::vector<ScanRange> MakeScans(int n, double fraction) {
+    std::vector<ScanRange> scans;
+    for (int i = 0; i < n; ++i) scans.push_back(gen_->FromFraction(fraction));
+    return scans;
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<ScanGenerator> gen_;
+};
+
+TEST_F(ContentionTest, ValidatesInput) {
+  ContentionConfig config;
+  config.buffer_pages = 100;
+  EXPECT_FALSE(RunContentionExperiment(*dataset_, {}, config).ok());
+  config.buffer_pages = 0;
+  EXPECT_FALSE(
+      RunContentionExperiment(*dataset_, MakeScans(2, 0.1), config).ok());
+}
+
+TEST_F(ContentionTest, SingleStreamEqualsSolo) {
+  ContentionConfig config;
+  config.buffer_pages = 120;
+  auto result = RunContentionExperiment(*dataset_, MakeScans(1, 0.3), config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->streams.size(), 1u);
+  EXPECT_EQ(result->streams[0].shared_fetches,
+            result->streams[0].solo_fetches);
+  EXPECT_DOUBLE_EQ(result->InflationFactor(), 1.0);
+}
+
+TEST_F(ContentionTest, SharingNeverBeatsSoloTotalsOnDisjointStreams) {
+  // Streams over disjoint key ranges touch (mostly) different pages:
+  // sharing the pool can only add pressure.
+  std::vector<ScanRange> scans = {
+      ScanRange{1, 70, dataset_->RecordsInRange(1, 70),
+                static_cast<double>(dataset_->RecordsInRange(1, 70)) /
+                    dataset_->num_records()},
+      ScanRange{150, 220, dataset_->RecordsInRange(150, 220),
+                static_cast<double>(dataset_->RecordsInRange(150, 220)) /
+                    dataset_->num_records()},
+  };
+  ContentionConfig config;
+  config.buffer_pages = 80;
+  auto result = RunContentionExperiment(*dataset_, scans, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->total_shared, result->total_solo);
+  EXPECT_GE(result->InflationFactor(), 1.0);
+}
+
+TEST_F(ContentionTest, SharedBoundedBySoloAndShareModels) {
+  // The equal-share model (each stream alone with B/m) brackets reality
+  // from above for disjoint round-robin streams; solo-with-full-B from
+  // below.
+  auto scans = MakeScans(3, 0.2);
+  ContentionConfig config;
+  config.buffer_pages = 150;
+  auto result = RunContentionExperiment(*dataset_, scans, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->total_shared, result->total_solo);
+  // Allow slack above the share model: interleaving skew and constructive
+  // sharing both move the number, but it must be the right magnitude.
+  EXPECT_LT(result->total_shared,
+            result->total_share_model * 2 + 1000);
+  EXPECT_GT(result->total_shared, result->total_share_model / 3);
+}
+
+TEST_F(ContentionTest, IdenticalStreamsShareConstructively) {
+  // Two copies of the same scan share every page: round-robin interleaving
+  // makes the second stream ride the first one's fetches, so the total is
+  // far below 2x solo.
+  ScanRange scan = gen_->FromFraction(0.3);
+  std::vector<ScanRange> scans = {scan, scan};
+  ContentionConfig config;
+  config.buffer_pages = 200;
+  auto result = RunContentionExperiment(*dataset_, scans, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->total_shared,
+            result->total_solo * 3 / 2);  // Much less than 2x.
+}
+
+TEST_F(ContentionTest, RandomInterleaveDeterministicPerSeed) {
+  auto scans = MakeScans(3, 0.15);
+  ContentionConfig config;
+  config.buffer_pages = 100;
+  config.mode = InterleaveMode::kRandom;
+  config.seed = 9;
+  auto a = RunContentionExperiment(*dataset_, scans, config);
+  auto b = RunContentionExperiment(*dataset_, scans, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->total_shared, b->total_shared);
+  for (size_t s = 0; s < a->streams.size(); ++s) {
+    EXPECT_EQ(a->streams[s].shared_fetches, b->streams[s].shared_fetches);
+  }
+}
+
+TEST_F(ContentionTest, MoreStreamsMorePressure) {
+  ContentionConfig config;
+  config.buffer_pages = 120;
+  auto two = RunContentionExperiment(*dataset_, MakeScans(2, 0.15), config);
+  auto six = RunContentionExperiment(*dataset_, MakeScans(6, 0.15), config);
+  ASSERT_TRUE(two.ok());
+  ASSERT_TRUE(six.ok());
+  EXPECT_GE(six->InflationFactor(), two->InflationFactor() * 0.9);
+}
+
+TEST_F(ContentionTest, AllReferencesAccountedFor) {
+  auto scans = MakeScans(4, 0.1);
+  ContentionConfig config;
+  config.buffer_pages = 64;
+  auto result = RunContentionExperiment(*dataset_, scans, config);
+  ASSERT_TRUE(result.ok());
+  for (size_t s = 0; s < scans.size(); ++s) {
+    EXPECT_EQ(result->streams[s].references, scans[s].num_records);
+    EXPECT_LE(result->streams[s].shared_fetches,
+              result->streams[s].references);
+    EXPECT_GE(result->streams[s].shared_fetches,
+              result->streams[s].solo_fetches > 0 ? 1u : 0u);
+  }
+}
+
+}  // namespace
+}  // namespace epfis

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "buffer/buffer_pool.h"
+#include "index/btree.h"
+#include "storage/disk_manager.h"
+#include "util/random.h"
+
+namespace epfis {
+namespace {
+
+IndexEntry MakeEntry(int64_t key, uint32_t page = 0, uint16_t slot = 0) {
+  return IndexEntry{key, Rid{page, slot}};
+}
+
+class BTreeDeleteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<DiskManager>();
+    pool_ = std::make_unique<BufferPool>(disk_.get(), 128);
+    tree_ = std::make_unique<BTree>(pool_.get(), "del");
+  }
+
+  std::vector<IndexEntry> DrainAll() {
+    std::vector<IndexEntry> out;
+    auto it = tree_->Begin();
+    EXPECT_TRUE(it.ok());
+    BTreeIterator iter = std::move(it).value();
+    while (iter.Valid()) {
+      out.push_back(iter.entry());
+      EXPECT_TRUE(iter.Next().ok());
+    }
+    return out;
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BTreeDeleteTest, RemoveFromEmptyFails) {
+  EXPECT_EQ(tree_->Remove(MakeEntry(1)).code(), StatusCode::kNotFound);
+}
+
+TEST_F(BTreeDeleteTest, RemoveMissingEntryFails) {
+  ASSERT_TRUE(tree_->Insert(MakeEntry(1)).ok());
+  EXPECT_EQ(tree_->Remove(MakeEntry(2)).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree_->Remove(MakeEntry(1, 0, 1)).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree_->num_entries(), 1u);
+}
+
+TEST_F(BTreeDeleteTest, InsertRemoveSingle) {
+  ASSERT_TRUE(tree_->Insert(MakeEntry(7)).ok());
+  ASSERT_TRUE(tree_->Remove(MakeEntry(7)).ok());
+  EXPECT_EQ(tree_->num_entries(), 0u);
+  EXPECT_TRUE(tree_->empty());
+  // Tree is reusable after emptying.
+  ASSERT_TRUE(tree_->Insert(MakeEntry(9)).ok());
+  EXPECT_TRUE(tree_->Contains(MakeEntry(9)).value());
+}
+
+TEST_F(BTreeDeleteTest, DrainSequentiallyForward) {
+  const int kN = 3000;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(tree_->Insert(MakeEntry(i)).ok());
+  }
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(tree_->Remove(MakeEntry(i)).ok()) << i;
+    if (i % 500 == 0) {
+      ASSERT_TRUE(tree_->CheckIntegrity().ok()) << "after removing " << i;
+    }
+  }
+  EXPECT_TRUE(tree_->empty());
+}
+
+TEST_F(BTreeDeleteTest, DrainSequentiallyBackward) {
+  const int kN = 3000;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(tree_->Insert(MakeEntry(i)).ok());
+  }
+  for (int i = kN - 1; i >= 0; --i) {
+    ASSERT_TRUE(tree_->Remove(MakeEntry(i)).ok()) << i;
+    if (i % 500 == 0) {
+      ASSERT_TRUE(tree_->CheckIntegrity().ok());
+    }
+  }
+  EXPECT_TRUE(tree_->empty());
+}
+
+TEST_F(BTreeDeleteTest, RandomInsertDeleteMatchesSetOracle) {
+  Rng rng(61);
+  std::set<IndexEntry> oracle;
+  for (int op = 0; op < 12000; ++op) {
+    IndexEntry e = MakeEntry(rng.NextInRange(0, 600),
+                             static_cast<uint32_t>(rng.NextBounded(20)),
+                             static_cast<uint16_t>(rng.NextBounded(20)));
+    if (rng.NextBernoulli(0.55)) {
+      Status s = tree_->Insert(e);
+      if (oracle.count(e) > 0) {
+        EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+      } else {
+        ASSERT_TRUE(s.ok()) << op;
+        oracle.insert(e);
+      }
+    } else {
+      Status s = tree_->Remove(e);
+      if (oracle.count(e) > 0) {
+        ASSERT_TRUE(s.ok()) << op << " " << s.ToString();
+        oracle.erase(e);
+      } else {
+        EXPECT_EQ(s.code(), StatusCode::kNotFound) << op;
+      }
+    }
+    if (op % 2000 == 1999) {
+      ASSERT_TRUE(tree_->CheckIntegrity().ok()) << "op " << op;
+      ASSERT_EQ(tree_->num_entries(), oracle.size());
+    }
+  }
+  ASSERT_TRUE(tree_->CheckIntegrity().ok());
+  std::vector<IndexEntry> all = DrainAll();
+  ASSERT_EQ(all.size(), oracle.size());
+  size_t i = 0;
+  for (const IndexEntry& e : oracle) EXPECT_EQ(all[i++], e);
+}
+
+TEST_F(BTreeDeleteTest, BulkLoadedTreeSupportsDeletes) {
+  std::vector<IndexEntry> entries;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    entries.push_back(MakeEntry(i, static_cast<uint32_t>(i / 100),
+                                static_cast<uint16_t>(i % 100)));
+  }
+  ASSERT_TRUE(tree_->BulkLoad(entries).ok());
+  Rng rng(67);
+  std::set<int64_t> removed;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t key = rng.NextInRange(0, kN - 1);
+    if (removed.count(key) > 0) continue;
+    ASSERT_TRUE(tree_
+                    ->Remove(MakeEntry(key, static_cast<uint32_t>(key / 100),
+                                       static_cast<uint16_t>(key % 100)))
+                    .ok())
+        << key;
+    removed.insert(key);
+  }
+  ASSERT_TRUE(tree_->CheckIntegrity().ok());
+  EXPECT_EQ(tree_->num_entries(), static_cast<uint64_t>(kN) - removed.size());
+  // Height shrinks (or stays) after mass deletion, never grows.
+  for (int i = 0; i < kN; ++i) {
+    if (removed.count(i) > 0) continue;
+    ASSERT_TRUE(tree_
+                    ->Remove(MakeEntry(i, static_cast<uint32_t>(i / 100),
+                                       static_cast<uint16_t>(i % 100)))
+                    .ok());
+  }
+  EXPECT_TRUE(tree_->empty());
+}
+
+TEST_F(BTreeDeleteTest, HeightShrinksOnMassDeletion) {
+  const int kN = 60000;
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < kN; ++i) {
+    entries.push_back(MakeEntry(i));
+  }
+  ASSERT_TRUE(tree_->BulkLoad(entries).ok());
+  uint32_t initial_height = tree_->height();
+  ASSERT_GE(initial_height, 3u);
+  for (int i = 0; i < kN - 50; ++i) {
+    ASSERT_TRUE(tree_->Remove(MakeEntry(i)).ok());
+  }
+  ASSERT_TRUE(tree_->CheckIntegrity().ok());
+  EXPECT_LT(tree_->height(), initial_height);
+  EXPECT_EQ(tree_->num_entries(), 50u);
+}
+
+TEST_F(BTreeDeleteTest, LeafChainIntactAfterMerges) {
+  const int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(tree_->Insert(MakeEntry(i)).ok());
+  }
+  // Remove every other key to force borrows, then a dense range to force
+  // merges.
+  for (int i = 0; i < kN; i += 2) {
+    ASSERT_TRUE(tree_->Remove(MakeEntry(i)).ok());
+  }
+  for (int i = 1001; i < 3001; i += 2) {
+    ASSERT_TRUE(tree_->Remove(MakeEntry(i)).ok());
+  }
+  ASSERT_TRUE(tree_->CheckIntegrity().ok());
+  std::vector<IndexEntry> all = DrainAll();
+  EXPECT_EQ(all.size(), tree_->num_entries());
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].key, all[i].key);
+  }
+}
+
+}  // namespace
+}  // namespace epfis

@@ -1,0 +1,168 @@
+// Cross-module edge cases and adversarial traces that do not fit a single
+// module's test file.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "buffer/clock_replacer.h"
+#include "buffer/stack_distance.h"
+#include "epfis/lru_fit.h"
+#include "exec/index_scan.h"
+#include "workload/data_gen.h"
+#include "workload/gwl.h"
+
+namespace epfis {
+namespace {
+
+TEST(AdversarialTraceTest, SequentialFloodingThrashesBelowLoopLength) {
+  // The classic LRU pathology: a loop over L distinct pages misses on
+  // every reference for any buffer B < L, and only cold-misses for B >= L.
+  const uint32_t kLoop = 100;
+  const int kRounds = 20;
+  StackDistanceSimulator sim;
+  for (int r = 0; r < kRounds; ++r) {
+    for (PageId p = 0; p < kLoop; ++p) sim.Access(p);
+  }
+  for (uint64_t b : {1ULL, 50ULL, 99ULL}) {
+    EXPECT_EQ(sim.Fetches(b), static_cast<uint64_t>(kLoop) * kRounds)
+        << "b=" << b;
+  }
+  EXPECT_EQ(sim.Fetches(kLoop), kLoop);
+  EXPECT_EQ(sim.Fetches(kLoop + 50), kLoop);
+}
+
+TEST(AdversarialTraceTest, LruFitCapturesTheCliff) {
+  // LRU-Fit on the flooding trace must reproduce the cliff at B = L in its
+  // fitted curve (modulo the sampled schedule's resolution).
+  const uint32_t kLoop = 400;
+  std::vector<PageId> trace;
+  for (int r = 0; r < 10; ++r) {
+    for (PageId p = 0; p < kLoop; ++p) trace.push_back(p);
+  }
+  auto stats = RunLruFit(trace, /*table_pages=*/kLoop, /*distinct=*/40,
+                         "flood");
+  ASSERT_TRUE(stats.ok());
+  // Below the loop: close to N; at/above: close to the loop length.
+  EXPECT_GT(stats->FullScanFetches(kLoop / 2), 0.8 * 4000.0);
+  EXPECT_NEAR(stats->FullScanFetches(kLoop), 400.0, 40.0);
+  EXPECT_NEAR(stats->clustering, 0.0, 0.05);
+}
+
+TEST(KeyRangeScanTest, ExclusiveBoundsRespectedByIndexScan) {
+  SyntheticSpec spec;
+  spec.num_records = 2000;
+  spec.num_distinct = 100;
+  spec.records_per_page = 20;
+  spec.seed = 151;
+  auto dataset = GenerateSynthetic(spec);
+  ASSERT_TRUE(dataset.ok());
+
+  KeyRange open{10, /*lo_inclusive=*/false, 20, /*hi_inclusive=*/false};
+  auto pool = (*dataset)->MakeDataPool(50);
+  auto result = RunIndexScan(*(*dataset)->index(), *(*dataset)->table(),
+                             pool.get(), open);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entries_examined, (*dataset)->RecordsInRange(11, 19));
+
+  KeyRange half_open{std::nullopt, true, 5, false};
+  auto pool2 = (*dataset)->MakeDataPool(50);
+  auto result2 = RunIndexScan(*(*dataset)->index(), *(*dataset)->table(),
+                              pool2.get(), half_open);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result2->entries_examined, (*dataset)->RecordsInRange(1, 4));
+}
+
+TEST(BufferPoolPolicyTest, WorksWithClockReplacer) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4, std::make_unique<ClockReplacer>());
+  std::vector<PageId> pids;
+  for (int i = 0; i < 12; ++i) {
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok());
+    guard->mutable_data()[0] = static_cast<char>(i);
+    pids.push_back(guard->page_id());
+  }
+  // Everything written is recoverable despite evictions.
+  for (int i = 0; i < 12; ++i) {
+    auto guard = pool.FetchPage(pids[i]);
+    ASSERT_TRUE(guard.ok());
+    EXPECT_EQ(guard->data()[0], static_cast<char>(i));
+  }
+  EXPECT_GT(pool.stats().evictions, 0u);
+}
+
+TEST(GwlSmokeTest, AllEightColumnsSynthesizeAtTinyScale) {
+  GwlOptions options;
+  options.scale = 0.05;
+  options.seed = 3;
+  options.tolerance = 0.05;
+  for (const GwlColumnSpec& column : GwlColumns()) {
+    auto synthesis = SynthesizeGwlColumn(column, options);
+    ASSERT_TRUE(synthesis.ok()) << column.name;
+    EXPECT_GT(synthesis->dataset->num_records(), 0u) << column.name;
+    ASSERT_TRUE(synthesis->dataset->index()->CheckIntegrity().ok())
+        << column.name;
+    // C in [0,1] and within a loose band of the target (tiny scales are
+    // noisy; the bench at real scale asserts tighter).
+    EXPECT_GE(synthesis->measured_c, 0.0);
+    EXPECT_LE(synthesis->measured_c, 1.0);
+    EXPECT_NEAR(synthesis->measured_c, column.target_clustering, 0.25)
+        << column.name;
+  }
+}
+
+TEST(DatasetSecondaryTest, SecondaryColumnUniformAndIndexed) {
+  SyntheticSpec spec;
+  spec.num_records = 6000;
+  spec.num_distinct = 100;
+  spec.secondary_distinct = 30;
+  spec.records_per_page = 20;
+  spec.seed = 161;
+  auto dataset = GenerateSynthetic(spec);
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_NE((*dataset)->index2(), nullptr);
+  EXPECT_EQ((*dataset)->index2()->num_entries(), 6000u);
+  ASSERT_TRUE((*dataset)->index2()->CheckIntegrity().ok());
+
+  const auto& counts = (*dataset)->secondary_counts();
+  ASSERT_EQ(counts.size(), 30u);
+  uint64_t total = 0;
+  for (uint64_t c : counts) {
+    total += c;
+    // Uniform-ish: each value ~200 records.
+    EXPECT_GT(c, 120u);
+    EXPECT_LT(c, 300u);
+  }
+  EXPECT_EQ(total, 6000u);
+  EXPECT_EQ((*dataset)->SecondaryRecordsInRange(1, 30), 6000u);
+
+  // Without a secondary column there is no second index.
+  spec.secondary_distinct = 0;
+  auto plain = GenerateSynthetic(spec);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ((*plain)->index2(), nullptr);
+}
+
+TEST(StatsConsistencyTest, PagesAccessedEqualsDistinctTracePages) {
+  SyntheticSpec spec;
+  spec.num_records = 4000;
+  spec.num_distinct = 100;
+  spec.records_per_page = 20;
+  spec.window_fraction = 0.3;
+  spec.seed = 171;
+  auto dataset = GenerateSynthetic(spec);
+  ASSERT_TRUE(dataset.ok());
+  auto trace = (*dataset)->FullIndexPageTrace().value();
+  auto stats = RunLruFit(trace, (*dataset)->num_pages(),
+                         (*dataset)->num_distinct(), "x")
+                   .value();
+  std::set<PageId> distinct(trace.begin(), trace.end());
+  EXPECT_EQ(stats.pages_accessed, distinct.size());
+  // Every data page holds at least one record here, so A == T.
+  EXPECT_EQ(stats.pages_accessed, (*dataset)->num_pages());
+}
+
+}  // namespace
+}  // namespace epfis

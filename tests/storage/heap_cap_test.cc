@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "buffer/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/table_heap.h"
+
+namespace epfis {
+namespace {
+
+TEST(TableHeapCapTest, ExactRecordsPerPageEnforced) {
+  for (uint32_t r : {1u, 20u, 40u, 76u, 104u, 123u}) {
+    DiskManager disk;
+    BufferPool pool(&disk, 8);
+    auto schema = Schema::MakeWithRecordsPerPage({Column{"k"}}, r);
+    ASSERT_TRUE(schema.ok()) << "r=" << r;
+    TableHeap heap(&pool, *schema, "capped", r);
+    ASSERT_TRUE(heap.AppendPage().ok());
+    for (uint32_t i = 0; i < r; ++i) {
+      ASSERT_TRUE(heap.InsertIntoPage(0, Record({i})).ok())
+          << "r=" << r << " i=" << i;
+    }
+    auto overflow = heap.InsertIntoPage(0, Record({0}));
+    EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted)
+        << "r=" << r;
+  }
+}
+
+TEST(TableHeapCapTest, AppendInsertRespectsCap) {
+  DiskManager disk;
+  BufferPool pool(&disk, 8);
+  auto schema = Schema::MakeWithRecordsPerPage({Column{"k"}}, 7);
+  ASSERT_TRUE(schema.ok());
+  TableHeap heap(&pool, *schema, "capped", 7);
+  for (int i = 0; i < 70; ++i) {
+    ASSERT_TRUE(heap.Insert(Record({i})).ok());
+  }
+  EXPECT_EQ(heap.num_pages(), 10u);
+}
+
+TEST(TableHeapCapTest, ZeroCapMeansByteLimited) {
+  DiskManager disk;
+  BufferPool pool(&disk, 8);
+  auto schema = Schema::Make({Column{"k"}});
+  ASSERT_TRUE(schema.ok());
+  TableHeap heap(&pool, *schema, "uncapped", 0);
+  ASSERT_TRUE(heap.AppendPage().ok());
+  // 8-byte records, 4-byte slots: (4096-4)/12 = 341 fit.
+  int inserted = 0;
+  while (heap.InsertIntoPage(0, Record({1})).ok()) ++inserted;
+  EXPECT_EQ(inserted, 341);
+}
+
+}  // namespace
+}  // namespace epfis

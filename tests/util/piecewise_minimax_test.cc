@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/piecewise.h"
+#include "util/random.h"
+
+namespace epfis {
+namespace {
+
+TEST(MinimaxFitTest, RejectsBadInput) {
+  EXPECT_FALSE(FitPiecewiseLinearMinimax({{0, 0}}, 3).ok());
+  EXPECT_FALSE(FitPiecewiseLinearMinimax({{0, 0}, {1, 1}}, 0).ok());
+}
+
+TEST(MinimaxFitTest, ExactOnPiecewiseShapes) {
+  std::vector<Knot> pts;
+  for (int i = 0; i <= 20; ++i) {
+    double x = i;
+    double y = (i <= 10) ? 100.0 - 10.0 * x : 10.0 * (x - 10.0);
+    pts.push_back(Knot{x, y});
+  }
+  auto fit = FitPiecewiseLinearMinimax(pts, 2);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(MaxAbsResidual(*fit, pts), 0.0, 1e-9);
+}
+
+TEST(MinimaxFitTest, NeverWorseMaxErrorThanLeastSquares) {
+  // Minimax optimizes exactly the max-residual criterion, so within the
+  // same knot family it can only match or beat least-squares on it.
+  Rng rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Knot> pts;
+    double y = 10000.0;
+    for (int i = 0; i < 40; ++i) {
+      y *= 0.85 + 0.1 * rng.NextDouble();
+      pts.push_back(Knot{static_cast<double>(i * 37 + 12), y});
+    }
+    for (int k : {2, 4, 6}) {
+      auto minimax = FitPiecewiseLinearMinimax(pts, k);
+      auto lsq = FitPiecewiseLinear(pts, k);
+      ASSERT_TRUE(minimax.ok());
+      ASSERT_TRUE(lsq.ok());
+      EXPECT_LE(MaxAbsResidual(*minimax, pts),
+                MaxAbsResidual(*lsq, pts) + 1e-9)
+          << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(MinimaxFitTest, MoreSegmentsNeverWorse) {
+  std::vector<Knot> pts;
+  for (int i = 0; i <= 50; ++i) {
+    double x = i;
+    pts.push_back(Knot{x, 5000.0 / (1.0 + 0.3 * x)});
+  }
+  double prev = 1e300;
+  for (int k = 1; k <= 8; ++k) {
+    auto fit = FitPiecewiseLinearMinimax(pts, k);
+    ASSERT_TRUE(fit.ok());
+    double err = MaxAbsResidual(*fit, pts);
+    EXPECT_LE(err, prev + 1e-9) << "k=" << k;
+    prev = err;
+  }
+}
+
+TEST(MinimaxFitTest, EndpointsPreserved) {
+  std::vector<Knot> pts;
+  Rng rng(73);
+  for (int i = 0; i < 25; ++i) {
+    pts.push_back(Knot{static_cast<double>(i), rng.NextDouble() * 50});
+  }
+  auto fit = FitPiecewiseLinearMinimax(pts, 3);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->knots().front().x, pts.front().x);
+  EXPECT_EQ(fit->knots().back().x, pts.back().x);
+}
+
+}  // namespace
+}  // namespace epfis

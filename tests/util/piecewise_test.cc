@@ -1,0 +1,151 @@
+#include "util/piecewise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace epfis {
+namespace {
+
+std::vector<Knot> LinePoints(double slope, double intercept, int n) {
+  std::vector<Knot> pts;
+  for (int i = 0; i < n; ++i) {
+    double x = static_cast<double>(i);
+    pts.push_back(Knot{x, slope * x + intercept});
+  }
+  return pts;
+}
+
+TEST(PiecewiseLinearTest, RejectsBadKnots) {
+  EXPECT_FALSE(PiecewiseLinear::FromKnots({}).ok());
+  EXPECT_FALSE(PiecewiseLinear::FromKnots({{0, 0}}).ok());
+  EXPECT_FALSE(PiecewiseLinear::FromKnots({{1, 0}, {1, 5}}).ok());
+  EXPECT_FALSE(PiecewiseLinear::FromKnots({{2, 0}, {1, 5}}).ok());
+}
+
+TEST(PiecewiseLinearTest, InterpolatesWithinRange) {
+  auto curve = PiecewiseLinear::FromKnots({{0, 0}, {10, 100}, {20, 100}});
+  ASSERT_TRUE(curve.ok());
+  EXPECT_NEAR(curve->Eval(0), 0, 1e-12);
+  EXPECT_NEAR(curve->Eval(5), 50, 1e-12);
+  EXPECT_NEAR(curve->Eval(10), 100, 1e-12);
+  EXPECT_NEAR(curve->Eval(15), 100, 1e-12);
+  EXPECT_NEAR(curve->Eval(20), 100, 1e-12);
+}
+
+TEST(PiecewiseLinearTest, ExtrapolatesWithEndSegments) {
+  auto curve = PiecewiseLinear::FromKnots({{0, 0}, {10, 100}, {20, 100}});
+  ASSERT_TRUE(curve.ok());
+  EXPECT_NEAR(curve->Eval(-5), -50, 1e-12);  // First segment slope 10.
+  EXPECT_NEAR(curve->Eval(30), 100, 1e-12);  // Last segment slope 0.
+}
+
+TEST(PiecewiseLinearTest, NumSegments) {
+  auto curve = PiecewiseLinear::FromKnots({{0, 0}, {1, 1}, {2, 0}, {3, 1}});
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve->num_segments(), 3u);
+  EXPECT_EQ(curve->min_x(), 0);
+  EXPECT_EQ(curve->max_x(), 3);
+}
+
+TEST(FitPiecewiseTest, RejectsBadInput) {
+  EXPECT_FALSE(FitPiecewiseLinear({{0, 0}}, 3).ok());
+  EXPECT_FALSE(FitPiecewiseLinear(LinePoints(1, 0, 5), 0).ok());
+  EXPECT_FALSE(FitPiecewiseLinear({{0, 0}, {0, 1}, {1, 2}}, 2).ok());
+}
+
+TEST(FitPiecewiseTest, StraightLineNeedsOneSegment) {
+  auto fit = FitPiecewiseLinear(LinePoints(2.0, 1.0, 20), 6);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(SumSquaredResidual(*fit, LinePoints(2.0, 1.0, 20)), 0.0, 1e-9);
+  // Optimal fit should not waste knots on a straight line.
+  EXPECT_LE(fit->num_segments(), 2u);
+}
+
+TEST(FitPiecewiseTest, RecoversExactPiecewiseShape) {
+  // A "V" with breakpoint at x=10 needs exactly 2 segments.
+  std::vector<Knot> pts;
+  for (int i = 0; i <= 20; ++i) {
+    double x = i;
+    double y = (i <= 10) ? 100.0 - 10.0 * x : 10.0 * (x - 10.0);
+    pts.push_back(Knot{x, y});
+  }
+  auto fit = FitPiecewiseLinear(pts, 2);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(SumSquaredResidual(*fit, pts), 0.0, 1e-9);
+  EXPECT_NEAR(fit->Eval(10), 0.0, 1e-9);
+}
+
+TEST(FitPiecewiseTest, EndpointsAlwaysKnots) {
+  std::vector<Knot> pts;
+  Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back(Knot{static_cast<double>(i), rng.NextDouble() * 100});
+  }
+  auto fit = FitPiecewiseLinear(pts, 4);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->knots().front().x, pts.front().x);
+  EXPECT_EQ(fit->knots().front().y, pts.front().y);
+  EXPECT_EQ(fit->knots().back().x, pts.back().x);
+  EXPECT_EQ(fit->knots().back().y, pts.back().y);
+}
+
+TEST(FitPiecewiseTest, MoreSegmentsNeverWorse) {
+  std::vector<Knot> pts;
+  for (int i = 0; i <= 40; ++i) {
+    double x = i;
+    pts.push_back(Knot{x, 1000.0 / (1.0 + x) + std::sin(x) * 5});
+  }
+  double prev = 1e300;
+  for (int k = 1; k <= 8; ++k) {
+    auto fit = FitPiecewiseLinear(pts, k);
+    ASSERT_TRUE(fit.ok());
+    double sse = SumSquaredResidual(*fit, pts);
+    EXPECT_LE(sse, prev + 1e-6) << "k=" << k;
+    prev = sse;
+  }
+}
+
+TEST(FitPiecewiseTest, OptimalBeatsOrMatchesUniform) {
+  std::vector<Knot> pts;
+  for (int i = 0; i <= 50; ++i) {
+    double x = i;
+    // Sharp hyperbolic decay: knot placement matters a lot.
+    pts.push_back(Knot{x, 10000.0 / (1.0 + x)});
+  }
+  auto optimal = FitPiecewiseLinear(pts, 5);
+  auto uniform = FitPiecewiseUniform(pts, 5);
+  ASSERT_TRUE(optimal.ok());
+  ASSERT_TRUE(uniform.ok());
+  EXPECT_LE(SumSquaredResidual(*optimal, pts),
+            SumSquaredResidual(*uniform, pts) + 1e-6);
+}
+
+TEST(FitPiecewiseTest, FewPointsUsesAllAsKnots) {
+  auto fit = FitPiecewiseLinear({{0, 1}, {1, 5}, {2, 2}}, 6);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->num_segments(), 2u);
+  EXPECT_NEAR(fit->Eval(1), 5, 1e-12);
+}
+
+TEST(FitPiecewiseTest, MaxAbsResidualConsistent) {
+  std::vector<Knot> pts = LinePoints(1.0, 0.0, 10);
+  pts[5].y += 3.0;  // One outlier.
+  auto fit = FitPiecewiseLinear(pts, 1);
+  ASSERT_TRUE(fit.ok());
+  double max_resid = MaxAbsResidual(*fit, pts);
+  EXPECT_GT(max_resid, 0.0);
+  EXPECT_LE(max_resid, 3.0 + 1e-9);
+}
+
+TEST(FitPiecewiseUniformTest, ProducesRequestedSegmentsOnDenseInput) {
+  auto fit = FitPiecewiseUniform(LinePoints(1, 0, 41), 4);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->num_segments(), 4u);
+}
+
+}  // namespace
+}  // namespace epfis

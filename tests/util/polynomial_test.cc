@@ -1,0 +1,108 @@
+#include "util/polynomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace epfis {
+namespace {
+
+std::vector<Knot> Sample(double (*f)(double), double lo, double hi, int n) {
+  std::vector<Knot> points;
+  for (int i = 0; i < n; ++i) {
+    double x = lo + (hi - lo) * i / (n - 1);
+    points.push_back(Knot{x, f(x)});
+  }
+  return points;
+}
+
+TEST(PolynomialTest, RejectsBadInput) {
+  EXPECT_FALSE(Polynomial::Fit({{0, 1}, {1, 2}}, -1).ok());
+  EXPECT_FALSE(Polynomial::Fit({{0, 1}, {1, 2}}, 2).ok());  // Need 3 points.
+  EXPECT_FALSE(Polynomial::Fit({{5, 1}, {5, 2}, {5, 3}}, 1).ok());
+}
+
+TEST(PolynomialTest, DirectCoefficientsEval) {
+  Polynomial p({1.0, 2.0, 3.0});  // 1 + 2x + 3x^2.
+  EXPECT_DOUBLE_EQ(p.Eval(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.Eval(1), 6.0);
+  EXPECT_DOUBLE_EQ(p.Eval(-2), 9.0);
+  EXPECT_EQ(p.degree(), 2);
+}
+
+TEST(PolynomialTest, RecoversExactLine) {
+  auto points = Sample([](double x) { return 3.0 * x - 7.0; }, 0, 100, 20);
+  auto fit = Polynomial::Fit(points, 1);
+  ASSERT_TRUE(fit.ok());
+  for (const Knot& p : points) {
+    EXPECT_NEAR(fit->Eval(p.x), p.y, 1e-6);
+  }
+  EXPECT_NEAR(fit->Eval(50.5), 3.0 * 50.5 - 7.0, 1e-6);
+}
+
+TEST(PolynomialTest, RecoversExactCubic) {
+  auto points = Sample(
+      [](double x) { return 0.5 * x * x * x - 2 * x * x + x - 9; }, -10, 10,
+      25);
+  auto fit = Polynomial::Fit(points, 3);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(SumSquaredResidual(*fit, points), 1e-6);
+}
+
+TEST(PolynomialTest, HigherDegreeNeverWorse) {
+  Rng rng(7);
+  std::vector<Knot> points;
+  for (int i = 0; i < 40; ++i) {
+    double x = i * 25.0 + 12;
+    points.push_back(Knot{x, 20000.0 / (1.0 + 0.01 * x) +
+                                 rng.NextDouble() * 50});
+  }
+  double prev = 1e300;
+  for (int degree = 0; degree <= 6; ++degree) {
+    auto fit = Polynomial::Fit(points, degree);
+    ASSERT_TRUE(fit.ok());
+    double sse = SumSquaredResidual(*fit, points);
+    EXPECT_LE(sse, prev * (1 + 1e-9)) << "degree " << degree;
+    prev = sse;
+  }
+}
+
+TEST(PolynomialTest, ExactInterpolationAtDegreeNMinusOne) {
+  // degree = points-1 interpolates exactly (small case, conditioned).
+  std::vector<Knot> points = {{0, 5}, {1, -2}, {2, 7}, {3, 0}};
+  auto fit = Polynomial::Fit(points, 3);
+  ASSERT_TRUE(fit.ok());
+  for (const Knot& p : points) {
+    EXPECT_NEAR(fit->Eval(p.x), p.y, 1e-6);
+  }
+  EXPECT_LT(MaxAbsResidual(*fit, points), 1e-6);
+}
+
+TEST(PolynomialTest, StableOnLargeXRange) {
+  // FPF-like domain: x in [12, 25000]. Normalization must keep the normal
+  // equations solvable and the residual bounded. Note the residual is
+  // genuinely mediocre: a hyperbolic FPF-style curve has (effectively) a
+  // pole just outside the domain, which polynomials approximate poorly —
+  // the concrete reason the paper's line segments beat "e.g., polynomial
+  // curve fitting" (§4.1); quantified in bench_ablation_fit_method.
+  auto points = Sample([](double x) { return 1e6 / (1.0 + 0.002 * x); }, 12,
+                       25000, 60);
+  auto fit = Polynomial::Fit(points, 5);
+  ASSERT_TRUE(fit.ok());
+  double rel = MaxAbsResidual(*fit, points) / 1e6;
+  EXPECT_LT(rel, 0.35);
+  EXPECT_TRUE(std::isfinite(fit->Eval(12.0)));
+  EXPECT_TRUE(std::isfinite(fit->Eval(25000.0)));
+}
+
+TEST(PolynomialTest, ConstantFit) {
+  std::vector<Knot> points = {{0, 4}, {1, 4}, {2, 4}};
+  auto fit = Polynomial::Fit(points, 0);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->Eval(1.5), 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace epfis

@@ -1,0 +1,110 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace epfis {
+namespace {
+
+TEST(ZipfTest, RejectsBadArguments) {
+  EXPECT_FALSE(ZipfDistribution::Make(0, 0.5).ok());
+  EXPECT_FALSE(ZipfDistribution::Make(10, -1.0).ok());
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  auto zipf = ZipfDistribution::Make(100, 0.0);
+  ASSERT_TRUE(zipf.ok());
+  for (uint64_t i = 1; i <= 100; ++i) {
+    EXPECT_NEAR(zipf->Pmf(i), 0.01, 1e-12);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  for (double theta : {0.0, 0.5, 0.86, 1.0}) {
+    auto zipf = ZipfDistribution::Make(500, theta);
+    ASSERT_TRUE(zipf.ok());
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= 500; ++i) sum += zipf->Pmf(i);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "theta " << theta;
+  }
+}
+
+TEST(ZipfTest, PmfDecreasesWithRank) {
+  auto zipf = ZipfDistribution::Make(50, 0.86);
+  ASSERT_TRUE(zipf.ok());
+  for (uint64_t i = 2; i <= 50; ++i) {
+    EXPECT_GE(zipf->Pmf(i - 1), zipf->Pmf(i));
+  }
+}
+
+TEST(ZipfTest, EightyTwentyShape) {
+  // theta ~= 0.86 should put roughly 80% of the mass on the top ~20% of
+  // ranks (the "80-20 rule" the paper invokes).
+  auto zipf = ZipfDistribution::Make(1000, 0.86);
+  ASSERT_TRUE(zipf.ok());
+  double top20 = 0.0;
+  for (uint64_t i = 1; i <= 200; ++i) top20 += zipf->Pmf(i);
+  EXPECT_GT(top20, 0.65);
+  EXPECT_LT(top20, 0.90);
+}
+
+TEST(ZipfTest, SampleRespectsDistribution) {
+  auto zipf = ZipfDistribution::Make(10, 0.86);
+  ASSERT_TRUE(zipf.ok());
+  Rng rng(3);
+  std::vector<int> counts(11, 0);
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t rank = zipf->Sample(rng);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, 10u);
+    counts[rank]++;
+  }
+  for (uint64_t i = 1; i <= 10; ++i) {
+    double expected = zipf->Pmf(i) * kDraws;
+    EXPECT_NEAR(counts[i], expected, 0.15 * expected + 30)
+        << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, ApportionCountsSumAndMinimum) {
+  for (double theta : {0.0, 0.86}) {
+    auto zipf = ZipfDistribution::Make(1000, theta);
+    ASSERT_TRUE(zipf.ok());
+    std::vector<uint64_t> counts = zipf->ApportionCounts(123457);
+    ASSERT_EQ(counts.size(), 1000u);
+    uint64_t total = std::accumulate(counts.begin(), counts.end(), 0ULL);
+    EXPECT_EQ(total, 123457u);
+    for (uint64_t c : counts) EXPECT_GE(c, 1u);
+  }
+}
+
+TEST(ZipfTest, ApportionUniformIsBalanced) {
+  auto zipf = ZipfDistribution::Make(10, 0.0);
+  ASSERT_TRUE(zipf.ok());
+  std::vector<uint64_t> counts = zipf->ApportionCounts(100);
+  for (uint64_t c : counts) EXPECT_EQ(c, 10u);
+}
+
+TEST(ZipfTest, ApportionSkewedIsMonotoneInRank) {
+  auto zipf = ZipfDistribution::Make(20, 0.86);
+  ASSERT_TRUE(zipf.ok());
+  std::vector<uint64_t> counts = zipf->ApportionCounts(10000);
+  // Rank 1 gets the most; allow equal neighbors from rounding.
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GE(counts[i - 1] + 1, counts[i]);
+  }
+  EXPECT_GT(counts.front(), counts.back());
+}
+
+TEST(ZipfTest, ApportionFewerItemsThanRanks) {
+  auto zipf = ZipfDistribution::Make(10, 0.0);
+  ASSERT_TRUE(zipf.ok());
+  std::vector<uint64_t> counts = zipf->ApportionCounts(4);
+  uint64_t total = std::accumulate(counts.begin(), counts.end(), 0ULL);
+  EXPECT_EQ(total, 4u);
+}
+
+}  // namespace
+}  // namespace epfis
