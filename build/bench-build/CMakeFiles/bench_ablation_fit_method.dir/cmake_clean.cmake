@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fit_method"
+  "../bench/bench_ablation_fit_method.pdb"
+  "CMakeFiles/bench_ablation_fit_method.dir/bench_ablation_fit_method.cc.o"
+  "CMakeFiles/bench_ablation_fit_method.dir/bench_ablation_fit_method.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fit_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

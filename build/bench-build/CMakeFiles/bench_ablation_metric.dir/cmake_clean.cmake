@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_metric"
+  "../bench/bench_ablation_metric.pdb"
+  "CMakeFiles/bench_ablation_metric.dir/bench_ablation_metric.cc.o"
+  "CMakeFiles/bench_ablation_metric.dir/bench_ablation_metric.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_phi"
+  "../bench/bench_ablation_phi.pdb"
+  "CMakeFiles/bench_ablation_phi.dir/bench_ablation_phi.cc.o"
+  "CMakeFiles/bench_ablation_phi.dir/bench_ablation_phi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

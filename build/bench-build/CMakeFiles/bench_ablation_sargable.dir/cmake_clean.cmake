@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sargable"
+  "../bench/bench_ablation_sargable.pdb"
+  "CMakeFiles/bench_ablation_sargable.dir/bench_ablation_sargable.cc.o"
+  "CMakeFiles/bench_ablation_sargable.dir/bench_ablation_sargable.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sargable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_scan_mix"
+  "../bench/bench_ablation_scan_mix.pdb"
+  "CMakeFiles/bench_ablation_scan_mix.dir/bench_ablation_scan_mix.cc.o"
+  "CMakeFiles/bench_ablation_scan_mix.dir/bench_ablation_scan_mix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scan_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

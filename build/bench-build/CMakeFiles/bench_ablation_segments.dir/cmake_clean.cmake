@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_segments"
+  "../bench/bench_ablation_segments.pdb"
+  "CMakeFiles/bench_ablation_segments.dir/bench_ablation_segments.cc.o"
+  "CMakeFiles/bench_ablation_segments.dir/bench_ablation_segments.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

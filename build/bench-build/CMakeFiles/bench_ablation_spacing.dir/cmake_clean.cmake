@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_spacing"
+  "../bench/bench_ablation_spacing.pdb"
+  "CMakeFiles/bench_ablation_spacing.dir/bench_ablation_spacing.cc.o"
+  "CMakeFiles/bench_ablation_spacing.dir/bench_ablation_spacing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

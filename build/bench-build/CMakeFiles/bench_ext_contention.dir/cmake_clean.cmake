@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_contention"
+  "../bench/bench_ext_contention.pdb"
+  "CMakeFiles/bench_ext_contention.dir/bench_ext_contention.cc.o"
+  "CMakeFiles/bench_ext_contention.dir/bench_ext_contention.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

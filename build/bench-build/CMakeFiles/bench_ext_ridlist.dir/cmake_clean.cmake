@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_ridlist"
+  "../bench/bench_ext_ridlist.pdb"
+  "CMakeFiles/bench_ext_ridlist.dir/bench_ext_ridlist.cc.o"
+  "CMakeFiles/bench_ext_ridlist.dir/bench_ext_ridlist.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ridlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

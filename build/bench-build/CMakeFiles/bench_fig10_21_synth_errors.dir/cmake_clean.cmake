@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_21_synth_errors"
+  "../bench/bench_fig10_21_synth_errors.pdb"
+  "CMakeFiles/bench_fig10_21_synth_errors.dir/bench_fig10_21_synth_errors.cc.o"
+  "CMakeFiles/bench_fig10_21_synth_errors.dir/bench_fig10_21_synth_errors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_21_synth_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

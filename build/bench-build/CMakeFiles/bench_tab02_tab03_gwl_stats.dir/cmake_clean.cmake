@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab02_tab03_gwl_stats"
+  "../bench/bench_tab02_tab03_gwl_stats.pdb"
+  "CMakeFiles/bench_tab02_tab03_gwl_stats.dir/bench_tab02_tab03_gwl_stats.cc.o"
+  "CMakeFiles/bench_tab02_tab03_gwl_stats.dir/bench_tab02_tab03_gwl_stats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_tab03_gwl_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_path_selection.dir/access_path_selection.cpp.o"
+  "CMakeFiles/access_path_selection.dir/access_path_selection.cpp.o.d"
+  "access_path_selection"
+  "access_path_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_path_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

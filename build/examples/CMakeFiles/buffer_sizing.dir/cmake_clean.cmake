@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_sizing.dir/buffer_sizing.cpp.o"
+  "CMakeFiles/buffer_sizing.dir/buffer_sizing.cpp.o.d"
+  "buffer_sizing"
+  "buffer_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epfis_shell.dir/epfis_shell.cpp.o"
+  "CMakeFiles/epfis_shell.dir/epfis_shell.cpp.o.d"
+  "epfis_shell"
+  "epfis_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epfis_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

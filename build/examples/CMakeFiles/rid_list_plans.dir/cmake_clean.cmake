@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rid_list_plans.dir/rid_list_plans.cpp.o"
+  "CMakeFiles/rid_list_plans.dir/rid_list_plans.cpp.o.d"
+  "rid_list_plans"
+  "rid_list_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rid_list_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rid_list_plans.
+# This may be replaced when dependencies are built.

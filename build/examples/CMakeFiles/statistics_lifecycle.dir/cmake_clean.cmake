@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statistics_lifecycle.dir/statistics_lifecycle.cpp.o"
+  "CMakeFiles/statistics_lifecycle.dir/statistics_lifecycle.cpp.o.d"
+  "statistics_lifecycle"
+  "statistics_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statistics_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

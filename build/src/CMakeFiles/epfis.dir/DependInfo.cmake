@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dc.cc" "src/CMakeFiles/epfis.dir/baselines/dc.cc.o" "gcc" "src/CMakeFiles/epfis.dir/baselines/dc.cc.o.d"
+  "/root/repo/src/baselines/estimator.cc" "src/CMakeFiles/epfis.dir/baselines/estimator.cc.o" "gcc" "src/CMakeFiles/epfis.dir/baselines/estimator.cc.o.d"
+  "/root/repo/src/baselines/ml.cc" "src/CMakeFiles/epfis.dir/baselines/ml.cc.o" "gcc" "src/CMakeFiles/epfis.dir/baselines/ml.cc.o.d"
+  "/root/repo/src/baselines/naive.cc" "src/CMakeFiles/epfis.dir/baselines/naive.cc.o" "gcc" "src/CMakeFiles/epfis.dir/baselines/naive.cc.o.d"
+  "/root/repo/src/baselines/ot.cc" "src/CMakeFiles/epfis.dir/baselines/ot.cc.o" "gcc" "src/CMakeFiles/epfis.dir/baselines/ot.cc.o.d"
+  "/root/repo/src/baselines/sd.cc" "src/CMakeFiles/epfis.dir/baselines/sd.cc.o" "gcc" "src/CMakeFiles/epfis.dir/baselines/sd.cc.o.d"
+  "/root/repo/src/buffer/buffer_pool.cc" "src/CMakeFiles/epfis.dir/buffer/buffer_pool.cc.o" "gcc" "src/CMakeFiles/epfis.dir/buffer/buffer_pool.cc.o.d"
+  "/root/repo/src/buffer/clock_replacer.cc" "src/CMakeFiles/epfis.dir/buffer/clock_replacer.cc.o" "gcc" "src/CMakeFiles/epfis.dir/buffer/clock_replacer.cc.o.d"
+  "/root/repo/src/buffer/lru_replacer.cc" "src/CMakeFiles/epfis.dir/buffer/lru_replacer.cc.o" "gcc" "src/CMakeFiles/epfis.dir/buffer/lru_replacer.cc.o.d"
+  "/root/repo/src/buffer/lru_simulator.cc" "src/CMakeFiles/epfis.dir/buffer/lru_simulator.cc.o" "gcc" "src/CMakeFiles/epfis.dir/buffer/lru_simulator.cc.o.d"
+  "/root/repo/src/buffer/policy_simulator.cc" "src/CMakeFiles/epfis.dir/buffer/policy_simulator.cc.o" "gcc" "src/CMakeFiles/epfis.dir/buffer/policy_simulator.cc.o.d"
+  "/root/repo/src/buffer/stack_distance.cc" "src/CMakeFiles/epfis.dir/buffer/stack_distance.cc.o" "gcc" "src/CMakeFiles/epfis.dir/buffer/stack_distance.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/epfis.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/epfis.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/histogram.cc" "src/CMakeFiles/epfis.dir/catalog/histogram.cc.o" "gcc" "src/CMakeFiles/epfis.dir/catalog/histogram.cc.o.d"
+  "/root/repo/src/catalog/stats_catalog.cc" "src/CMakeFiles/epfis.dir/catalog/stats_catalog.cc.o" "gcc" "src/CMakeFiles/epfis.dir/catalog/stats_catalog.cc.o.d"
+  "/root/repo/src/epfis/est_io.cc" "src/CMakeFiles/epfis.dir/epfis/est_io.cc.o" "gcc" "src/CMakeFiles/epfis.dir/epfis/est_io.cc.o.d"
+  "/root/repo/src/epfis/fpf_curve.cc" "src/CMakeFiles/epfis.dir/epfis/fpf_curve.cc.o" "gcc" "src/CMakeFiles/epfis.dir/epfis/fpf_curve.cc.o.d"
+  "/root/repo/src/epfis/index_stats.cc" "src/CMakeFiles/epfis.dir/epfis/index_stats.cc.o" "gcc" "src/CMakeFiles/epfis.dir/epfis/index_stats.cc.o.d"
+  "/root/repo/src/epfis/lru_fit.cc" "src/CMakeFiles/epfis.dir/epfis/lru_fit.cc.o" "gcc" "src/CMakeFiles/epfis.dir/epfis/lru_fit.cc.o.d"
+  "/root/repo/src/epfis/trace_io.cc" "src/CMakeFiles/epfis.dir/epfis/trace_io.cc.o" "gcc" "src/CMakeFiles/epfis.dir/epfis/trace_io.cc.o.d"
+  "/root/repo/src/exec/external_sort.cc" "src/CMakeFiles/epfis.dir/exec/external_sort.cc.o" "gcc" "src/CMakeFiles/epfis.dir/exec/external_sort.cc.o.d"
+  "/root/repo/src/exec/index_scan.cc" "src/CMakeFiles/epfis.dir/exec/index_scan.cc.o" "gcc" "src/CMakeFiles/epfis.dir/exec/index_scan.cc.o.d"
+  "/root/repo/src/exec/multi_index.cc" "src/CMakeFiles/epfis.dir/exec/multi_index.cc.o" "gcc" "src/CMakeFiles/epfis.dir/exec/multi_index.cc.o.d"
+  "/root/repo/src/exec/optimizer.cc" "src/CMakeFiles/epfis.dir/exec/optimizer.cc.o" "gcc" "src/CMakeFiles/epfis.dir/exec/optimizer.cc.o.d"
+  "/root/repo/src/exec/predicate.cc" "src/CMakeFiles/epfis.dir/exec/predicate.cc.o" "gcc" "src/CMakeFiles/epfis.dir/exec/predicate.cc.o.d"
+  "/root/repo/src/exec/rid_list.cc" "src/CMakeFiles/epfis.dir/exec/rid_list.cc.o" "gcc" "src/CMakeFiles/epfis.dir/exec/rid_list.cc.o.d"
+  "/root/repo/src/exec/table_scan.cc" "src/CMakeFiles/epfis.dir/exec/table_scan.cc.o" "gcc" "src/CMakeFiles/epfis.dir/exec/table_scan.cc.o.d"
+  "/root/repo/src/harness/contention.cc" "src/CMakeFiles/epfis.dir/harness/contention.cc.o" "gcc" "src/CMakeFiles/epfis.dir/harness/contention.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/epfis.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/epfis.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/figures.cc" "src/CMakeFiles/epfis.dir/harness/figures.cc.o" "gcc" "src/CMakeFiles/epfis.dir/harness/figures.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/epfis.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/epfis.dir/index/btree.cc.o.d"
+  "/root/repo/src/index/btree_iterator.cc" "src/CMakeFiles/epfis.dir/index/btree_iterator.cc.o" "gcc" "src/CMakeFiles/epfis.dir/index/btree_iterator.cc.o.d"
+  "/root/repo/src/index/btree_node.cc" "src/CMakeFiles/epfis.dir/index/btree_node.cc.o" "gcc" "src/CMakeFiles/epfis.dir/index/btree_node.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/epfis.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/epfis.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/record.cc" "src/CMakeFiles/epfis.dir/storage/record.cc.o" "gcc" "src/CMakeFiles/epfis.dir/storage/record.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/epfis.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/epfis.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/CMakeFiles/epfis.dir/storage/slotted_page.cc.o" "gcc" "src/CMakeFiles/epfis.dir/storage/slotted_page.cc.o.d"
+  "/root/repo/src/storage/table_heap.cc" "src/CMakeFiles/epfis.dir/storage/table_heap.cc.o" "gcc" "src/CMakeFiles/epfis.dir/storage/table_heap.cc.o.d"
+  "/root/repo/src/util/arg_parser.cc" "src/CMakeFiles/epfis.dir/util/arg_parser.cc.o" "gcc" "src/CMakeFiles/epfis.dir/util/arg_parser.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/epfis.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/epfis.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/fenwick.cc" "src/CMakeFiles/epfis.dir/util/fenwick.cc.o" "gcc" "src/CMakeFiles/epfis.dir/util/fenwick.cc.o.d"
+  "/root/repo/src/util/formulas.cc" "src/CMakeFiles/epfis.dir/util/formulas.cc.o" "gcc" "src/CMakeFiles/epfis.dir/util/formulas.cc.o.d"
+  "/root/repo/src/util/piecewise.cc" "src/CMakeFiles/epfis.dir/util/piecewise.cc.o" "gcc" "src/CMakeFiles/epfis.dir/util/piecewise.cc.o.d"
+  "/root/repo/src/util/polynomial.cc" "src/CMakeFiles/epfis.dir/util/polynomial.cc.o" "gcc" "src/CMakeFiles/epfis.dir/util/polynomial.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/epfis.dir/util/random.cc.o" "gcc" "src/CMakeFiles/epfis.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/epfis.dir/util/status.cc.o" "gcc" "src/CMakeFiles/epfis.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/epfis.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/epfis.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/util/zipf.cc" "src/CMakeFiles/epfis.dir/util/zipf.cc.o" "gcc" "src/CMakeFiles/epfis.dir/util/zipf.cc.o.d"
+  "/root/repo/src/workload/data_gen.cc" "src/CMakeFiles/epfis.dir/workload/data_gen.cc.o" "gcc" "src/CMakeFiles/epfis.dir/workload/data_gen.cc.o.d"
+  "/root/repo/src/workload/dataset.cc" "src/CMakeFiles/epfis.dir/workload/dataset.cc.o" "gcc" "src/CMakeFiles/epfis.dir/workload/dataset.cc.o.d"
+  "/root/repo/src/workload/gwl.cc" "src/CMakeFiles/epfis.dir/workload/gwl.cc.o" "gcc" "src/CMakeFiles/epfis.dir/workload/gwl.cc.o.d"
+  "/root/repo/src/workload/scan_gen.cc" "src/CMakeFiles/epfis.dir/workload/scan_gen.cc.o" "gcc" "src/CMakeFiles/epfis.dir/workload/scan_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

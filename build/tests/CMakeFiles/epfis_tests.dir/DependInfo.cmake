@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/baselines_test.cc" "tests/CMakeFiles/epfis_tests.dir/baselines/baselines_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/baselines/baselines_test.cc.o.d"
+  "/root/repo/tests/buffer/buffer_pool_test.cc" "tests/CMakeFiles/epfis_tests.dir/buffer/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/buffer/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/buffer/clock_replacer_test.cc" "tests/CMakeFiles/epfis_tests.dir/buffer/clock_replacer_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/buffer/clock_replacer_test.cc.o.d"
+  "/root/repo/tests/buffer/lru_replacer_test.cc" "tests/CMakeFiles/epfis_tests.dir/buffer/lru_replacer_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/buffer/lru_replacer_test.cc.o.d"
+  "/root/repo/tests/buffer/simulators_test.cc" "tests/CMakeFiles/epfis_tests.dir/buffer/simulators_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/buffer/simulators_test.cc.o.d"
+  "/root/repo/tests/catalog/catalog_test.cc" "tests/CMakeFiles/epfis_tests.dir/catalog/catalog_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/catalog/catalog_test.cc.o.d"
+  "/root/repo/tests/catalog/histogram_persistence_test.cc" "tests/CMakeFiles/epfis_tests.dir/catalog/histogram_persistence_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/catalog/histogram_persistence_test.cc.o.d"
+  "/root/repo/tests/catalog/histogram_test.cc" "tests/CMakeFiles/epfis_tests.dir/catalog/histogram_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/catalog/histogram_test.cc.o.d"
+  "/root/repo/tests/epfis/est_io_property_test.cc" "tests/CMakeFiles/epfis_tests.dir/epfis/est_io_property_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/epfis/est_io_property_test.cc.o.d"
+  "/root/repo/tests/epfis/est_io_test.cc" "tests/CMakeFiles/epfis_tests.dir/epfis/est_io_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/epfis/est_io_test.cc.o.d"
+  "/root/repo/tests/epfis/fpf_curve_test.cc" "tests/CMakeFiles/epfis_tests.dir/epfis/fpf_curve_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/epfis/fpf_curve_test.cc.o.d"
+  "/root/repo/tests/epfis/lru_fit_test.cc" "tests/CMakeFiles/epfis_tests.dir/epfis/lru_fit_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/epfis/lru_fit_test.cc.o.d"
+  "/root/repo/tests/epfis/trace_io_test.cc" "tests/CMakeFiles/epfis_tests.dir/epfis/trace_io_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/epfis/trace_io_test.cc.o.d"
+  "/root/repo/tests/exec/exec_test.cc" "tests/CMakeFiles/epfis_tests.dir/exec/exec_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/exec/exec_test.cc.o.d"
+  "/root/repo/tests/exec/external_sort_test.cc" "tests/CMakeFiles/epfis_tests.dir/exec/external_sort_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/exec/external_sort_test.cc.o.d"
+  "/root/repo/tests/exec/optimizer_order_test.cc" "tests/CMakeFiles/epfis_tests.dir/exec/optimizer_order_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/exec/optimizer_order_test.cc.o.d"
+  "/root/repo/tests/exec/optimizer_ridlist_test.cc" "tests/CMakeFiles/epfis_tests.dir/exec/optimizer_ridlist_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/exec/optimizer_ridlist_test.cc.o.d"
+  "/root/repo/tests/exec/optimizer_test.cc" "tests/CMakeFiles/epfis_tests.dir/exec/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/exec/optimizer_test.cc.o.d"
+  "/root/repo/tests/exec/rid_list_test.cc" "tests/CMakeFiles/epfis_tests.dir/exec/rid_list_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/exec/rid_list_test.cc.o.d"
+  "/root/repo/tests/harness/contention_test.cc" "tests/CMakeFiles/epfis_tests.dir/harness/contention_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/harness/contention_test.cc.o.d"
+  "/root/repo/tests/harness/experiment_test.cc" "tests/CMakeFiles/epfis_tests.dir/harness/experiment_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/harness/experiment_test.cc.o.d"
+  "/root/repo/tests/harness/figures_test.cc" "tests/CMakeFiles/epfis_tests.dir/harness/figures_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/harness/figures_test.cc.o.d"
+  "/root/repo/tests/index/btree_corruption_test.cc" "tests/CMakeFiles/epfis_tests.dir/index/btree_corruption_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/index/btree_corruption_test.cc.o.d"
+  "/root/repo/tests/index/btree_delete_test.cc" "tests/CMakeFiles/epfis_tests.dir/index/btree_delete_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/index/btree_delete_test.cc.o.d"
+  "/root/repo/tests/index/btree_test.cc" "tests/CMakeFiles/epfis_tests.dir/index/btree_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/index/btree_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/epfis_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/misc_edge_cases_test.cc" "tests/CMakeFiles/epfis_tests.dir/misc_edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/misc_edge_cases_test.cc.o.d"
+  "/root/repo/tests/storage/heap_cap_test.cc" "tests/CMakeFiles/epfis_tests.dir/storage/heap_cap_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/storage/heap_cap_test.cc.o.d"
+  "/root/repo/tests/storage/storage_test.cc" "tests/CMakeFiles/epfis_tests.dir/storage/storage_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/storage/storage_test.cc.o.d"
+  "/root/repo/tests/storage/table_heap_test.cc" "tests/CMakeFiles/epfis_tests.dir/storage/table_heap_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/storage/table_heap_test.cc.o.d"
+  "/root/repo/tests/util/fenwick_test.cc" "tests/CMakeFiles/epfis_tests.dir/util/fenwick_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/util/fenwick_test.cc.o.d"
+  "/root/repo/tests/util/formulas_test.cc" "tests/CMakeFiles/epfis_tests.dir/util/formulas_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/util/formulas_test.cc.o.d"
+  "/root/repo/tests/util/misc_util_test.cc" "tests/CMakeFiles/epfis_tests.dir/util/misc_util_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/util/misc_util_test.cc.o.d"
+  "/root/repo/tests/util/piecewise_minimax_test.cc" "tests/CMakeFiles/epfis_tests.dir/util/piecewise_minimax_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/util/piecewise_minimax_test.cc.o.d"
+  "/root/repo/tests/util/piecewise_test.cc" "tests/CMakeFiles/epfis_tests.dir/util/piecewise_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/util/piecewise_test.cc.o.d"
+  "/root/repo/tests/util/polynomial_test.cc" "tests/CMakeFiles/epfis_tests.dir/util/polynomial_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/util/polynomial_test.cc.o.d"
+  "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/epfis_tests.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/util/random_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/epfis_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/zipf_test.cc" "tests/CMakeFiles/epfis_tests.dir/util/zipf_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/util/zipf_test.cc.o.d"
+  "/root/repo/tests/workload/data_gen_test.cc" "tests/CMakeFiles/epfis_tests.dir/workload/data_gen_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/workload/data_gen_test.cc.o.d"
+  "/root/repo/tests/workload/gwl_scan_gen_test.cc" "tests/CMakeFiles/epfis_tests.dir/workload/gwl_scan_gen_test.cc.o" "gcc" "tests/CMakeFiles/epfis_tests.dir/workload/gwl_scan_gen_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/epfis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
