@@ -1,0 +1,193 @@
+#include "buffer/parallel_stack_distance.h"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/fenwick.h"
+#include "util/thread_pool.h"
+
+namespace epfis {
+namespace {
+
+// Result of the parallel phase for one shard. Distances whose reuse window
+// lies entirely inside the shard are final (in `hist`); each shard-first
+// access is deferred to the merge pass, which sees global state.
+struct ShardResult {
+  // Intra-shard distances: hist[d] = count of references at distance d.
+  std::vector<uint64_t> hist;
+  // Shard-first accesses (page, global position), in trace order.
+  std::vector<std::pair<PageId, uint64_t>> first_access;
+  // Final (page, global position of its last access in the shard), any
+  // order. The merge pass advances the global last-access table with these.
+  std::vector<std::pair<PageId, uint64_t>> last_access;
+};
+
+// Runs the serial Mattson algorithm on one shard over *local* timestamps.
+// A reference whose previous access is inside the shard has a reuse window
+// entirely inside the shard, so its local distance equals its global
+// distance and can be histogrammed immediately.
+ShardResult ProcessShard(const std::vector<PageId>& shard, uint64_t offset) {
+  ShardResult result;
+  FenwickTree live(shard.empty() ? 1 : shard.size());
+  std::unordered_map<PageId, uint64_t> last;  // Local positions.
+  last.reserve(shard.size() / 4 + 8);
+  for (size_t i = 0; i < shard.size(); ++i) {
+    auto [it, inserted] = last.try_emplace(shard[i], i);
+    if (inserted) {
+      result.first_access.emplace_back(shard[i], offset + i);
+    } else {
+      uint64_t d = static_cast<uint64_t>(
+          live.RangeSum(static_cast<size_t>(it->second), i - 1));
+      if (d >= result.hist.size()) result.hist.resize(d + 1, 0);
+      ++result.hist[d];
+      live.Add(static_cast<size_t>(it->second), -1);
+      it->second = i;
+    }
+    live.Add(i, +1);
+  }
+  result.last_access.reserve(last.size());
+  for (const auto& [page, pos] : last) {
+    result.last_access.emplace_back(page, offset + pos);
+  }
+  return result;
+}
+
+Result<StackDistanceHistogram> ComputeSerial(TraceSource& trace) {
+  size_t expected = static_cast<size_t>(trace.size_hint().value_or(1024));
+  StackDistanceSimulator sim(expected == 0 ? 1 : expected);
+  std::vector<PageId> buffer(1 << 16);
+  for (;;) {
+    EPFIS_ASSIGN_OR_RETURN(size_t n, trace.Next(buffer.data(), buffer.size()));
+    if (n == 0) break;
+    sim.AccessAll(buffer.data(), n);
+  }
+  if (sim.accesses() == 0) {
+    return Status::InvalidArgument("stack distance: empty trace");
+  }
+  return sim.histogram();
+}
+
+// Merges one shard into the global histogram and last-access state.
+//
+// `live` holds one bit per known page at its *effective* last access:
+// the final position in some earlier shard, or — for pages already
+// re-encountered in this shard's first_access prefix — their first position
+// in this shard. For a shard-first access to page x at global position t
+// with previous global access t0, every distinct page touched in (t0, t)
+// has exactly one live bit in [t0, t-1]: pages touched earlier in this
+// shard sit at their shard-first position (>= shard start > t0), pages not
+// touched in this shard sit at their final position in an earlier shard
+// (< shard start, counted iff >= t0), and x itself sits at t0. Hence
+// RangeSum(t0, t-1) is exactly the serial stack distance.
+void MergeShard(const ShardResult& shard, FenwickTree& live,
+                std::unordered_map<PageId, uint64_t>& global_last,
+                StackDistanceHistogram& out) {
+  for (uint64_t d = 1; d < shard.hist.size(); ++d) {
+    if (shard.hist[d] > 0) out.AddDistances(d, shard.hist[d]);
+  }
+  for (const auto& [page, pos] : shard.first_access) {
+    auto [it, inserted] = global_last.try_emplace(page, pos);
+    if (inserted) {
+      out.AddColdMiss();
+    } else {
+      uint64_t prev = it->second;
+      uint64_t d = static_cast<uint64_t>(
+          live.RangeSum(static_cast<size_t>(prev),
+                        static_cast<size_t>(pos - 1)));
+      out.AddDistance(d);
+      live.Add(static_cast<size_t>(prev), -1);
+      it->second = pos;
+    }
+    live.Add(static_cast<size_t>(pos), +1);
+  }
+  // Advance every page touched in this shard to its final in-shard
+  // position, restoring the invariant for the next shard's merge.
+  for (const auto& [page, pos] : shard.last_access) {
+    uint64_t& cur = global_last[page];
+    if (cur != pos) {
+      live.Add(static_cast<size_t>(cur), -1);
+      live.Add(static_cast<size_t>(pos), +1);
+      cur = pos;
+    }
+  }
+}
+
+}  // namespace
+
+Result<StackDistanceHistogram> ComputeStackDistances(
+    TraceSource& trace, ThreadPool* pool,
+    const StackDistanceOptions& options) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    return ComputeSerial(trace);
+  }
+  size_t num_shards =
+      options.num_shards > 0 ? options.num_shards : pool->num_threads();
+  size_t min_refs = std::max<size_t>(options.min_shard_refs, 1);
+
+  // Shard size: split a known-length trace evenly; fall back to a fixed
+  // chunk for unbounded sources (more shards than workers just queue).
+  size_t shard_refs;
+  if (auto hint = trace.size_hint(); hint.has_value() && *hint > 0) {
+    shard_refs = static_cast<size_t>((*hint + num_shards - 1) / num_shards);
+  } else {
+    shard_refs = size_t{1} << 20;
+  }
+  shard_refs = std::max(shard_refs, min_refs);
+
+  // Parallel phase: stream shard-sized chunks to the pool, capping the
+  // number of in-flight shards so an unbounded source never accumulates
+  // unprocessed raw trace in memory.
+  std::vector<std::future<ShardResult>> futures;
+  std::vector<ShardResult> results;
+  const size_t max_in_flight = pool->num_threads() + 2;
+  uint64_t total_refs = 0;
+  for (;;) {
+    std::vector<PageId> shard(shard_refs);
+    size_t filled = 0;
+    while (filled < shard.size()) {
+      EPFIS_ASSIGN_OR_RETURN(
+          size_t n, trace.Next(shard.data() + filled, shard.size() - filled));
+      if (n == 0) break;
+      filled += n;
+    }
+    if (filled == 0) break;
+    shard.resize(filled);
+    uint64_t offset = total_refs;
+    total_refs += filled;
+    futures.push_back(pool->Submit(
+        [shard = std::move(shard), offset]() mutable {
+          return ProcessShard(shard, offset);
+        }));
+    while (futures.size() - results.size() >= max_in_flight) {
+      results.push_back(futures[results.size()].get());
+    }
+  }
+  if (total_refs == 0) {
+    return Status::InvalidArgument("stack distance: empty trace");
+  }
+  try {
+    while (results.size() < futures.size()) {
+      results.push_back(futures[results.size()].get());
+    }
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("stack distance shard failed: ") +
+                            e.what());
+  }
+
+  // Sequential merge pass, in shard order. Cost is proportional to the
+  // distinct pages per shard, not the references per shard — that gap is
+  // where the parallel speedup comes from.
+  StackDistanceHistogram out;
+  FenwickTree live(static_cast<size_t>(total_refs));
+  std::unordered_map<PageId, uint64_t> global_last;
+  for (const ShardResult& shard : results) {
+    MergeShard(shard, live, global_last, out);
+  }
+  return out;
+}
+
+}  // namespace epfis

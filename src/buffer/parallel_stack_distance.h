@@ -1,0 +1,48 @@
+#ifndef EPFIS_BUFFER_PARALLEL_STACK_DISTANCE_H_
+#define EPFIS_BUFFER_PARALLEL_STACK_DISTANCE_H_
+
+#include <cstddef>
+
+#include "buffer/stack_distance.h"
+#include "epfis/trace_source.h"
+#include "util/result.h"
+
+namespace epfis {
+
+class ThreadPool;
+
+/// Tuning knobs for the sharded stack-distance computation.
+struct StackDistanceOptions {
+  /// Number of trace shards. 0 means one shard per pool worker. More
+  /// shards than workers is fine (they queue); results are independent of
+  /// the shard count.
+  size_t num_shards = 0;
+
+  /// Floor on the references per shard, so tiny traces are not split into
+  /// shards whose fixed costs dominate. Tests lower this to exercise
+  /// many-shard merges on small traces.
+  size_t min_shard_refs = 4096;
+};
+
+/// Computes the LRU stack-distance histogram of `trace`.
+///
+/// With `pool == nullptr` (or a single worker) this streams the trace
+/// through the serial StackDistanceSimulator. Otherwise the trace is split
+/// into shards processed concurrently on `pool`, and a sequential merge
+/// pass resolves the references whose previous access lies in an earlier
+/// shard (see DESIGN.md §7 for the algorithm and the exactness argument).
+/// Both paths produce bit-identical histograms: the parallel result equals
+/// the serial simulator's on every trace, by construction, and the
+/// property tests assert it.
+///
+/// The trace is consumed in chunks and never materialized whole; peak
+/// memory is O(in-flight shards + distinct pages per shard).
+///
+/// Fails with InvalidArgument on an empty trace.
+Result<StackDistanceHistogram> ComputeStackDistances(
+    TraceSource& trace, ThreadPool* pool = nullptr,
+    const StackDistanceOptions& options = {});
+
+}  // namespace epfis
+
+#endif  // EPFIS_BUFFER_PARALLEL_STACK_DISTANCE_H_

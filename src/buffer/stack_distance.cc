@@ -2,40 +2,8 @@
 
 namespace epfis {
 
-StackDistanceSimulator::StackDistanceSimulator(size_t expected_refs)
-    : live_(expected_refs == 0 ? 1 : expected_refs) {}
-
-void StackDistanceSimulator::Access(PageId page_id) {
-  if (now_ >= live_.size()) {
-    live_.Resize(live_.size() * 2);
-  }
-  suffix_valid_ = false;
-  auto it = last_access_.find(page_id);
-  if (it == last_access_.end()) {
-    ++cold_misses_;
-    last_access_.emplace(page_id, now_);
-  } else {
-    uint64_t prev = it->second;
-    // Depth = distinct pages whose most recent access is at time >= prev.
-    // The page itself contributes 1 (its live bit at `prev`), so a
-    // re-reference with nothing in between has distance 1.
-    uint64_t d = static_cast<uint64_t>(
-        live_.RangeSum(static_cast<size_t>(prev), now_ == 0 ? 0 : now_ - 1));
-    if (d >= hist_.size()) hist_.resize(d + 1, 0);
-    ++hist_[d];
-    live_.Add(static_cast<size_t>(prev), -1);
-    it->second = now_;
-  }
-  live_.Add(static_cast<size_t>(now_), +1);
-  ++now_;
-}
-
-void StackDistanceSimulator::AccessAll(const std::vector<PageId>& trace) {
-  for (PageId pid : trace) Access(pid);
-}
-
-uint64_t StackDistanceSimulator::Fetches(uint64_t buffer_size) const {
-  if (buffer_size == 0) buffer_size = 1;
+uint64_t StackDistanceHistogram::Fetches(uint64_t buffer_size) const {
+  if (buffer_size == 0) return accesses_;  // No buffer: every access misses.
   if (!suffix_valid_) {
     // suffix_[d] = number of references with stack distance > d.
     suffix_.assign(hist_.size() + 1, 0);
@@ -49,12 +17,52 @@ uint64_t StackDistanceSimulator::Fetches(uint64_t buffer_size) const {
   return cold_misses_ + reuse_misses;
 }
 
-std::vector<uint64_t> StackDistanceSimulator::FetchesForSizes(
+std::vector<uint64_t> StackDistanceHistogram::FetchesForSizes(
     const std::vector<uint64_t>& buffer_sizes) const {
   std::vector<uint64_t> out;
   out.reserve(buffer_sizes.size());
   for (uint64_t b : buffer_sizes) out.push_back(Fetches(b));
   return out;
+}
+
+std::vector<uint64_t> StackDistanceHistogram::TrimmedHist() const {
+  std::vector<uint64_t> trimmed = hist_;
+  while (!trimmed.empty() && trimmed.back() == 0) trimmed.pop_back();
+  return trimmed;
+}
+
+StackDistanceSimulator::StackDistanceSimulator(size_t expected_refs)
+    : live_(expected_refs == 0 ? 1 : expected_refs) {}
+
+void StackDistanceSimulator::Access(PageId page_id) {
+  if (now_ >= live_.size()) {
+    live_.Resize(live_.size() * 2);
+  }
+  auto it = last_access_.find(page_id);
+  if (it == last_access_.end()) {
+    histogram_.AddColdMiss();
+    last_access_.emplace(page_id, now_);
+  } else {
+    uint64_t prev = it->second;
+    // Depth = distinct pages whose most recent access is at time >= prev.
+    // The page itself contributes 1 (its live bit at `prev`), so a
+    // re-reference with nothing in between has distance 1.
+    uint64_t d = static_cast<uint64_t>(
+        live_.RangeSum(static_cast<size_t>(prev), now_ == 0 ? 0 : now_ - 1));
+    histogram_.AddDistance(d);
+    live_.Add(static_cast<size_t>(prev), -1);
+    it->second = now_;
+  }
+  live_.Add(static_cast<size_t>(now_), +1);
+  ++now_;
+}
+
+void StackDistanceSimulator::AccessAll(const std::vector<PageId>& trace) {
+  for (PageId pid : trace) Access(pid);
+}
+
+void StackDistanceSimulator::AccessAll(const PageId* trace, size_t count) {
+  for (size_t i = 0; i < count; ++i) Access(trace[i]);
 }
 
 }  // namespace epfis

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 namespace epfis {
@@ -16,10 +17,12 @@ std::string FormatDouble(double v) {
 }  // namespace
 
 void StatsCatalog::Put(IndexStats stats) {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_[stats.index_name] = std::move(stats);
 }
 
 Result<IndexStats> StatsCatalog::Get(const std::string& index_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(index_name);
   if (it == entries_.end()) {
     return Status::NotFound("no statistics for index " + index_name);
@@ -28,14 +31,22 @@ Result<IndexStats> StatsCatalog::Get(const std::string& index_name) const {
 }
 
 bool StatsCatalog::Contains(const std::string& index_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return entries_.count(index_name) > 0;
 }
 
 void StatsCatalog::Remove(const std::string& index_name) {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.erase(index_name);
 }
 
+size_t StatsCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
 std::vector<std::string> StatsCatalog::IndexNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, stats] : entries_) names.push_back(name);
@@ -43,6 +54,11 @@ std::vector<std::string> StatsCatalog::IndexNames() const {
 }
 
 std::string StatsCatalog::SaveToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SaveToStringLocked();
+}
+
+std::string StatsCatalog::SaveToStringLocked() const {
   std::ostringstream os;
   for (const auto& [name, s] : entries_) {
     os << "[index]\n";
@@ -142,6 +158,7 @@ Status StatsCatalog::LoadFromString(const std::string& text) {
     }
   }
   if (in_entry) return Status::Corruption("stats catalog: unterminated entry");
+  std::lock_guard<std::mutex> lock(mu_);
   entries_ = std::move(loaded);
   return Status::Ok();
 }
@@ -151,7 +168,10 @@ Status StatsCatalog::SaveToFile(const std::string& path) const {
   if (!out.is_open()) {
     return Status::IoError("cannot open " + path + " for writing");
   }
-  out << SaveToString();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out << SaveToStringLocked();
+  }
   return out.good() ? Status::Ok()
                     : Status::IoError("write to " + path + " failed");
 }

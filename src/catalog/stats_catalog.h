@@ -2,6 +2,7 @@
 #define EPFIS_CATALOG_STATS_CATALOG_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,10 @@ namespace epfis {
 /// index, written by LRU-Fit at statistics-collection time and read by
 /// Est-IO during query compilation (§4: "This coordinate information can be
 /// stored in a system catalog entry associated with the index").
+///
+/// Thread-safe: every operation takes an internal mutex, so concurrent
+/// RunLruFitBatch workers can publish entries while compilation threads
+/// read them. Get returns a copy, never a reference into the map.
 ///
 /// Entries round-trip through a line-oriented text format so statistics
 /// survive process restarts (SaveToFile / LoadFromFile).
@@ -29,7 +34,7 @@ class StatsCatalog {
 
   bool Contains(const std::string& index_name) const;
   void Remove(const std::string& index_name);
-  size_t size() const { return entries_.size(); }
+  size_t size() const;
 
   /// Names of all indexes with statistics, sorted.
   std::vector<std::string> IndexNames() const;
@@ -44,7 +49,10 @@ class StatsCatalog {
   Status LoadFromFile(const std::string& path);
 
  private:
-  std::map<std::string, IndexStats> entries_;
+  std::string SaveToStringLocked() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, IndexStats> entries_;  // Guarded by mu_.
 };
 
 }  // namespace epfis

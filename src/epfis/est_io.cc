@@ -7,6 +7,31 @@
 
 namespace epfis {
 
+Result<double> EstIo::Estimate(const IndexStats& stats, const ScanSpec& scan,
+                               const EstIoOptions& options) {
+  // Written so NaN fails every check (NaN comparisons are false).
+  if (!(scan.sigma >= 0.0 && scan.sigma <= 1.0)) {
+    return Status::InvalidArgument("Est-IO: sigma must be in [0, 1]");
+  }
+  if (!(scan.sargable_selectivity > 0.0 &&
+        scan.sargable_selectivity <= 1.0)) {
+    return Status::InvalidArgument(
+        "Est-IO: sargable_selectivity must be in (0, 1]");
+  }
+  if (scan.buffer_pages == 0) {
+    return Status::InvalidArgument("Est-IO: buffer_pages must be >= 1");
+  }
+  return EstimatePageFetches(stats, scan, options);
+}
+
+Result<double> EstIo::EstimateFullScan(const IndexStats& stats,
+                                       uint64_t buffer_pages) {
+  if (buffer_pages == 0) {
+    return Status::InvalidArgument("Est-IO: buffer_pages must be >= 1");
+  }
+  return EstimateFullScanFetches(stats, buffer_pages);
+}
+
 double EstimateFullScanFetches(const IndexStats& stats,
                                uint64_t buffer_pages) {
   return stats.FullScanFetches(static_cast<double>(buffer_pages));

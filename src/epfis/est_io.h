@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "epfis/index_stats.h"
+#include "util/result.h"
 
 namespace epfis {
 
@@ -39,6 +40,24 @@ struct ScanSpec {
   uint64_t buffer_pages = 0;
 };
 
+/// Validating entry points for Subprogram Est-IO. These are the preferred
+/// API for optimizer integration: malformed scan specifications are
+/// rejected with InvalidArgument instead of being silently clamped into
+/// range the way the legacy double-returning functions below do.
+struct EstIo {
+  /// Validated EstimatePageFetches. Fails with InvalidArgument when
+  /// `scan.sigma` is outside [0, 1], `scan.sargable_selectivity` is
+  /// outside (0, 1], or `scan.buffer_pages` is 0 (a scan with no buffer
+  /// cannot be costed by the FPF model); NaNs are rejected too.
+  static Result<double> Estimate(const IndexStats& stats,
+                                 const ScanSpec& scan,
+                                 const EstIoOptions& options = {});
+
+  /// Validated EstimateFullScanFetches; rejects `buffer_pages == 0`.
+  static Result<double> EstimateFullScan(const IndexStats& stats,
+                                         uint64_t buffer_pages);
+};
+
 /// Subprogram Est-IO (§4.2): estimates the number of data-page fetches for
 /// an index scan given the catalog statistics produced by LRU-Fit.
 ///
@@ -52,10 +71,16 @@ struct ScanSpec {
 ///
 /// The returned estimate is clamped to the trivial bounds [0, S sigma N]
 /// (a scan cannot fetch more pages than it fetches records).
+///
+/// Legacy thin wrapper around the same computation as EstIo::Estimate:
+/// instead of validating, it clamps sigma and sargable_selectivity into
+/// range and treats buffer_pages == 0 as an empty buffer. New callers
+/// should prefer EstIo::Estimate so input bugs surface as errors.
 double EstimatePageFetches(const IndexStats& stats, const ScanSpec& scan,
                            const EstIoOptions& options = {});
 
 /// PF_B alone: the full-scan page-fetch estimate at the given buffer size.
+/// Legacy thin wrapper; EstIo::EstimateFullScan is the validating form.
 double EstimateFullScanFetches(const IndexStats& stats, uint64_t buffer_pages);
 
 }  // namespace epfis

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
+#include <utility>
 
-#include "buffer/stack_distance.h"
+#include "buffer/parallel_stack_distance.h"
+#include "catalog/stats_catalog.h"
 #include "util/formulas.h"
+#include "util/thread_pool.h"
 
 namespace epfis {
 namespace {
@@ -29,36 +33,69 @@ Result<ModelRange> DetermineRange(uint64_t table_pages,
   return ModelRange{b_min, b_max};
 }
 
+Result<StackDistanceHistogram> SimulateTrace(TraceSource& trace,
+                                             ThreadPool* pool,
+                                             size_t num_shards) {
+  StackDistanceOptions sd_options;
+  sd_options.num_shards = num_shards;
+  auto histogram = ComputeStackDistances(trace, pool, sd_options);
+  if (!histogram.ok() &&
+      histogram.status().code() == StatusCode::kInvalidArgument) {
+    return Status::InvalidArgument("LRU-Fit: empty index trace");
+  }
+  return histogram;
+}
+
 }  // namespace
 
-Result<std::vector<FpfPoint>> SampleFpfCurve(const std::vector<PageId>& trace,
-                                             uint64_t b_min, uint64_t b_max,
-                                             BufferSchedule schedule) {
-  if (trace.empty()) {
-    return Status::InvalidArgument("SampleFpfCurve: empty trace");
+Status LruFitOptions::Validate() const {
+  if (num_segments < 1) {
+    return Status::InvalidArgument("LRU-Fit: need at least one segment");
   }
+  if (b_sml == 0) {
+    return Status::InvalidArgument("LRU-Fit: b_sml must be >= 1");
+  }
+  if (b_min_override.has_value() && b_max_override.has_value() &&
+      *b_min_override > *b_max_override) {
+    return Status::InvalidArgument(
+        "LRU-Fit: b_min_override exceeds b_max_override");
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<FpfPoint>> SampleFpfCurve(TraceSource& trace,
+                                             uint64_t b_min, uint64_t b_max,
+                                             BufferSchedule schedule,
+                                             ThreadPool* pool) {
   EPFIS_ASSIGN_OR_RETURN(std::vector<uint64_t> sizes,
                          MakeBufferSchedule(b_min, b_max, schedule));
-  StackDistanceSimulator sim(trace.size());
-  sim.AccessAll(trace);
+  auto histogram_or = ComputeStackDistances(trace, pool);
+  if (!histogram_or.ok()) {
+    if (histogram_or.status().code() == StatusCode::kInvalidArgument) {
+      return Status::InvalidArgument("SampleFpfCurve: empty trace");
+    }
+    return histogram_or.status();
+  }
+  const StackDistanceHistogram& histogram = *histogram_or;
   std::vector<FpfPoint> points;
   points.reserve(sizes.size());
   for (uint64_t b : sizes) {
-    points.push_back(FpfPoint{b, sim.Fetches(b)});
+    points.push_back(FpfPoint{b, histogram.Fetches(b)});
   }
   return points;
 }
 
-Result<IndexStats> RunLruFit(const std::vector<PageId>& trace,
-                             uint64_t table_pages, uint64_t distinct_keys,
-                             std::string index_name,
+Result<std::vector<FpfPoint>> SampleFpfCurve(const std::vector<PageId>& trace,
+                                             uint64_t b_min, uint64_t b_max,
+                                             BufferSchedule schedule) {
+  VectorTraceSource source = VectorTraceSource::View(trace);
+  return SampleFpfCurve(source, b_min, b_max, schedule);
+}
+
+Result<IndexStats> RunLruFit(TraceSource& trace, uint64_t table_pages,
+                             uint64_t distinct_keys, std::string index_name,
                              const LruFitOptions& options) {
-  if (trace.empty()) {
-    return Status::InvalidArgument("LRU-Fit: empty index trace");
-  }
-  if (options.num_segments < 1) {
-    return Status::InvalidArgument("LRU-Fit: need at least one segment");
-  }
+  EPFIS_RETURN_IF_ERROR(options.Validate());
   EPFIS_ASSIGN_OR_RETURN(ModelRange range,
                          DetermineRange(table_pages, options));
 
@@ -67,18 +104,19 @@ Result<IndexStats> RunLruFit(const std::vector<PageId>& trace,
   EPFIS_ASSIGN_OR_RETURN(std::vector<uint64_t> sizes,
                          MakeBufferSchedule(range.b_min, range.b_max,
                                             options.schedule));
-  StackDistanceSimulator sim(trace.size());
-  sim.AccessAll(trace);
+  EPFIS_ASSIGN_OR_RETURN(
+      StackDistanceHistogram histogram,
+      SimulateTrace(trace, options.pool, options.num_shards));
 
   IndexStats stats;
   stats.index_name = std::move(index_name);
   stats.table_pages = table_pages;
-  stats.table_records = trace.size();
+  stats.table_records = histogram.accesses();
   stats.distinct_keys = distinct_keys;
-  stats.pages_accessed = sim.distinct_pages();
+  stats.pages_accessed = histogram.distinct_pages();
   stats.b_min = range.b_min;
   stats.b_max = range.b_max;
-  stats.f_min = sim.Fetches(range.b_min);
+  stats.f_min = histogram.Fetches(range.b_min);
 
   // C = (N - F_min) / (N - T); degenerate N <= T means no page can be
   // refetched even with one buffer, i.e. perfectly clustered.
@@ -95,7 +133,7 @@ Result<IndexStats> RunLruFit(const std::vector<PageId>& trace,
   points.reserve(sizes.size());
   for (uint64_t b : sizes) {
     points.push_back(Knot{static_cast<double>(b),
-                          static_cast<double>(sim.Fetches(b))});
+                          static_cast<double>(histogram.Fetches(b))});
   }
   if (points.size() == 1) {
     // Single modeled size (tiny table): store a flat segment.
@@ -108,6 +146,42 @@ Result<IndexStats> RunLruFit(const std::vector<PageId>& trace,
           : FitPiecewiseLinear(points, options.num_segments));
   stats.fpf = std::move(fit);
   return stats;
+}
+
+Result<IndexStats> RunLruFit(const std::vector<PageId>& trace,
+                             uint64_t table_pages, uint64_t distinct_keys,
+                             std::string index_name,
+                             const LruFitOptions& options) {
+  VectorTraceSource source = VectorTraceSource::View(trace);
+  return RunLruFit(source, table_pages, distinct_keys,
+                   std::move(index_name), options);
+}
+
+LruFitBatchResult RunLruFitBatch(std::vector<LruFitJob> jobs,
+                                 ThreadPool& pool, StatsCatalog* catalog) {
+  LruFitBatchResult batch;
+  batch.statuses.resize(jobs.size());
+  std::vector<std::future<Status>> futures;
+  futures.reserve(jobs.size());
+  for (LruFitJob& job : jobs) {
+    futures.push_back(pool.Submit([&job, catalog]() -> Status {
+      if (job.trace == nullptr) {
+        return Status::InvalidArgument("LRU-Fit batch: job has no trace");
+      }
+      LruFitOptions options = job.options;
+      options.pool = nullptr;  // Jobs must not re-enter the batch pool.
+      auto stats = RunLruFit(*job.trace, job.table_pages, job.distinct_keys,
+                             job.index_name, options);
+      if (!stats.ok()) return stats.status();
+      if (catalog != nullptr) catalog->Put(std::move(stats).value());
+      return Status::Ok();
+    }));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    batch.statuses[i] = futures[i].get();
+    if (batch.statuses[i].ok()) ++batch.num_ok;
+  }
+  return batch;
 }
 
 }  // namespace epfis

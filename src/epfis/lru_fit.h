@@ -2,16 +2,21 @@
 #define EPFIS_EPFIS_LRU_FIT_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "epfis/fpf_curve.h"
 #include "epfis/index_stats.h"
+#include "epfis/trace_source.h"
 #include "storage/page.h"
 #include "util/result.h"
 
 namespace epfis {
+
+class StatsCatalog;
+class ThreadPool;
 
 /// Options for Subprogram LRU-Fit (§4.1).
 struct LruFitOptions {
@@ -35,18 +40,45 @@ struct LruFitOptions {
   /// B_min = max(0.01 * T, b_sml), B_max = T.
   std::optional<uint64_t> b_min_override;
   std::optional<uint64_t> b_max_override;
+
+  /// When non-null, the stack simulation is sharded across this pool's
+  /// workers (bit-identical results; see ComputeStackDistances). Leave
+  /// null inside RunLruFitBatch jobs — the batch parallelizes across
+  /// indexes instead and resets this to avoid pool self-deadlock.
+  ThreadPool* pool = nullptr;
+
+  /// Trace shards when `pool` is set; 0 = one shard per pool worker.
+  size_t num_shards = 0;
+
+  /// Checks the options for internal consistency: at least one segment,
+  /// a non-zero B_sml, and overrides with b_min_override <= b_max_override.
+  /// RunLruFit calls this first, so option errors surface as
+  /// InvalidArgument before any simulation work starts.
+  Status Validate() const;
 };
 
 /// Runs Subprogram LRU-Fit over the data-page reference string of a *full*
-/// index scan (`trace[i]` = page of the record pointed to by the i-th index
-/// entry in key order). One pass of the Mattson stack simulation yields the
-/// FPF table for every modeled buffer size; the table is then approximated
-/// with line segments and the clustering factor C is derived from F at
-/// B_min. The result is exactly the catalog entry Est-IO consumes.
+/// index scan (the source yields the page of the record pointed to by each
+/// index entry, in key order). One pass of the Mattson stack simulation
+/// yields the FPF table for every modeled buffer size; the table is then
+/// approximated with line segments and the clustering factor C is derived
+/// from F at B_min. The result is exactly the catalog entry Est-IO
+/// consumes.
+///
+/// The trace is pulled in chunks from `trace` (vector-backed, file-backed,
+/// or online) and is never required to be resident in memory; with
+/// `options.pool` set the simulation itself runs sharded in parallel.
 ///
 /// `table_pages` is T (it may exceed the number of *accessed* pages if some
-/// pages hold no indexed records). The record count N is `trace.size()`.
-/// Fails on an empty trace or impossible range.
+/// pages hold no indexed records). The record count N is the trace length.
+/// Fails on an empty trace, invalid options, or impossible range.
+Result<IndexStats> RunLruFit(TraceSource& trace, uint64_t table_pages,
+                             uint64_t distinct_keys, std::string index_name,
+                             const LruFitOptions& options = {});
+
+/// Compatibility overload for in-memory traces (`trace[i]` = page of the
+/// record pointed to by the i-th index entry in key order). Thin wrapper:
+/// adapts the vector with VectorTraceSource::View.
 Result<IndexStats> RunLruFit(const std::vector<PageId>& trace,
                              uint64_t table_pages, uint64_t distinct_keys,
                              std::string index_name,
@@ -54,9 +86,46 @@ Result<IndexStats> RunLruFit(const std::vector<PageId>& trace,
 
 /// The raw sampled FPF points for the trace at the scheduled buffer sizes
 /// (before segment approximation); used by Figure 1 and the ablations.
+/// With `pool` set the underlying simulation is sharded.
+Result<std::vector<FpfPoint>> SampleFpfCurve(TraceSource& trace,
+                                             uint64_t b_min, uint64_t b_max,
+                                             BufferSchedule schedule,
+                                             ThreadPool* pool = nullptr);
+
+/// Compatibility overload for in-memory traces.
 Result<std::vector<FpfPoint>> SampleFpfCurve(const std::vector<PageId>& trace,
                                              uint64_t b_min, uint64_t b_max,
                                              BufferSchedule schedule);
+
+/// One statistics-collection request in a RunLruFitBatch call.
+struct LruFitJob {
+  std::unique_ptr<TraceSource> trace;
+  uint64_t table_pages = 0;
+  uint64_t distinct_keys = 0;
+  std::string index_name;
+  LruFitOptions options;
+};
+
+/// Outcome of a RunLruFitBatch call: one status per job, in job order.
+struct LruFitBatchResult {
+  std::vector<Status> statuses;
+  size_t num_ok = 0;
+
+  bool all_ok() const { return num_ok == statuses.size(); }
+};
+
+/// Collects statistics for many indexes concurrently: each job runs
+/// LRU-Fit on a pool worker and, on success, publishes its IndexStats into
+/// `catalog` (StatsCatalog is internally synchronized). This is the
+/// production-shaped entry point — a periodic statistics daemon refreshing
+/// every index of a database is one RunLruFitBatch call.
+///
+/// Per-job `options.pool` is ignored (reset to null): parallelism comes
+/// from running jobs concurrently, and a job blocking on sub-tasks of the
+/// same pool could deadlock it. Failed jobs leave the catalog untouched
+/// and report their error in the returned statuses.
+LruFitBatchResult RunLruFitBatch(std::vector<LruFitJob> jobs,
+                                 ThreadPool& pool, StatsCatalog* catalog);
 
 }  // namespace epfis
 

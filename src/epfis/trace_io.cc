@@ -1,5 +1,6 @@
 #include "epfis/trace_io.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 
@@ -55,6 +56,47 @@ Result<std::vector<PageId>> LoadPageTrace(const std::string& path) {
   in.peek();
   if (!in.eof()) return Status::Corruption("trace file: trailing bytes");
   return trace;
+}
+
+PageTraceReader::PageTraceReader(std::ifstream in, uint64_t count)
+    : in_(std::move(in)), count_(count) {}
+
+Result<PageTraceReader> PageTraceReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  uint64_t count = 0;
+  EPFIS_RETURN_IF_ERROR(ReadHeader(in, kPageMagic, &count));
+  return PageTraceReader(std::move(in), count);
+}
+
+Result<size_t> PageTraceReader::Read(PageId* buffer, size_t capacity) {
+  if (consumed_ >= count_ || capacity == 0) {
+    if (consumed_ >= count_ && capacity > 0) {
+      // Exhausted: the body must end exactly here.
+      in_.peek();
+      if (!in_.eof()) return Status::Corruption("trace file: trailing bytes");
+    }
+    return size_t{0};
+  }
+  uint64_t want64 = std::min<uint64_t>(capacity, count_ - consumed_);
+  size_t want = static_cast<size_t>(want64);
+  in_.read(reinterpret_cast<char*>(buffer),
+           static_cast<std::streamsize>(want * sizeof(PageId)));
+  if (!in_.good() &&
+      static_cast<size_t>(in_.gcount()) != want * sizeof(PageId)) {
+    return Status::Corruption("trace file: truncated body");
+  }
+  consumed_ += want;
+  return want;
+}
+
+Status PageTraceReader::Reset() {
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(8 + sizeof(uint64_t)),
+            std::ios::beg);
+  if (!in_.good()) return Status::IoError("trace file: rewind failed");
+  consumed_ = 0;
+  return Status::Ok();
 }
 
 Status SaveKeyPageTrace(const std::vector<KeyPageRef>& trace,

@@ -1,6 +1,8 @@
 #ifndef EPFIS_EPFIS_TRACE_IO_H_
 #define EPFIS_EPFIS_TRACE_IO_H_
 
+#include <cstdint>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,35 @@ Status SavePageTrace(const std::vector<PageId>& trace,
 
 /// Loads a plain data-page trace.
 Result<std::vector<PageId>> LoadPageTrace(const std::string& path);
+
+/// Incremental reader over a SavePageTrace file: validates the header on
+/// Open, then streams entries in caller-sized chunks so a trace never has
+/// to be materialized whole (FileTraceSource builds on this). Move-only.
+class PageTraceReader {
+ public:
+  static Result<PageTraceReader> Open(const std::string& path);
+
+  PageTraceReader(PageTraceReader&&) = default;
+  PageTraceReader& operator=(PageTraceReader&&) = default;
+
+  /// Entry count from the header.
+  uint64_t count() const { return count_; }
+
+  /// Reads up to `capacity` entries into `buffer`; returns the number read,
+  /// 0 once the trace is exhausted. Fails with Corruption on a truncated
+  /// body or trailing bytes.
+  Result<size_t> Read(PageId* buffer, size_t capacity);
+
+  /// Rewinds to the first entry.
+  Status Reset();
+
+ private:
+  PageTraceReader(std::ifstream in, uint64_t count);
+
+  std::ifstream in_;
+  uint64_t count_ = 0;
+  uint64_t consumed_ = 0;
+};
 
 /// Saves a (key, page) trace (what the §3 baseline collectors consume).
 Status SaveKeyPageTrace(const std::vector<KeyPageRef>& trace,

@@ -1,0 +1,26 @@
+#include "epfis/trace_source.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace epfis {
+
+Result<size_t> VectorTraceSource::Next(PageId* buffer, size_t capacity) {
+  size_t n = std::min(capacity, data_->size() - pos_);
+  if (n > 0) {
+    std::memcpy(buffer, data_->data() + pos_, n * sizeof(PageId));
+    pos_ += n;
+  }
+  return n;
+}
+
+Result<FileTraceSource> FileTraceSource::Open(const std::string& path) {
+  EPFIS_ASSIGN_OR_RETURN(PageTraceReader reader, PageTraceReader::Open(path));
+  return FileTraceSource(std::move(reader));
+}
+
+Result<size_t> FileTraceSource::Next(PageId* buffer, size_t capacity) {
+  return reader_.Read(buffer, capacity);
+}
+
+}  // namespace epfis

@@ -1,0 +1,104 @@
+#ifndef EPFIS_EPFIS_TRACE_SOURCE_H_
+#define EPFIS_EPFIS_TRACE_SOURCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "epfis/trace_io.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace epfis {
+
+/// Pull-based producer of an index reference string.
+///
+/// §4.1's statistics scan emits one data-page reference per index entry in
+/// key order; at production scale that trace is too large to require a
+/// materialized std::vector<PageId>. A TraceSource lets LRU-Fit and the
+/// stack-distance simulators consume the trace in chunks, whether it lives
+/// in memory, in a trace_io file, or is produced online by a scan.
+///
+/// The contract mirrors a chunked read(2): Next fills up to `capacity`
+/// references and returns the number written, 0 at end of trace. Reset
+/// rewinds so the source can be consumed again (LRU-Fit needs one pass;
+/// benchmarks and the baselines may replay).
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Pulls up to `capacity` references into `buffer` in trace order.
+  /// Returns the count written; 0 means the trace is exhausted.
+  virtual Result<size_t> Next(PageId* buffer, size_t capacity) = 0;
+
+  /// Rewinds to the first reference.
+  virtual Status Reset() = 0;
+
+  /// Total reference count when known up front (used to pre-size the
+  /// simulators and to split shards evenly); nullopt for unbounded or
+  /// online sources.
+  virtual std::optional<uint64_t> size_hint() const { return std::nullopt; }
+};
+
+/// TraceSource over an in-memory reference string. Owns its storage when
+/// constructed from a vector rvalue; the View factory borrows instead
+/// (caller keeps the vector alive).
+class VectorTraceSource final : public TraceSource {
+ public:
+  explicit VectorTraceSource(std::vector<PageId> trace)
+      : owned_(std::move(trace)), data_(&owned_) {}
+
+  /// Borrowing view; `trace` must outlive the source.
+  static VectorTraceSource View(const std::vector<PageId>& trace) {
+    return VectorTraceSource(&trace);
+  }
+
+  // In the owning case data_ points into this object, so a copy or move
+  // would dangle; construction goes through prvalues (guaranteed elision).
+  VectorTraceSource(const VectorTraceSource&) = delete;
+  VectorTraceSource& operator=(const VectorTraceSource&) = delete;
+
+  Result<size_t> Next(PageId* buffer, size_t capacity) override;
+  Status Reset() override {
+    pos_ = 0;
+    return Status::Ok();
+  }
+  std::optional<uint64_t> size_hint() const override {
+    return static_cast<uint64_t>(data_->size());
+  }
+
+ private:
+  explicit VectorTraceSource(const std::vector<PageId>* trace)
+      : data_(trace) {}
+
+  std::vector<PageId> owned_;
+  const std::vector<PageId>* data_;
+  size_t pos_ = 0;
+};
+
+/// TraceSource over a SavePageTrace file, read in chunks through
+/// PageTraceReader — the whole trace is never resident. Move-only.
+class FileTraceSource final : public TraceSource {
+ public:
+  static Result<FileTraceSource> Open(const std::string& path);
+
+  FileTraceSource(FileTraceSource&&) = default;
+  FileTraceSource& operator=(FileTraceSource&&) = default;
+
+  Result<size_t> Next(PageId* buffer, size_t capacity) override;
+  Status Reset() override { return reader_.Reset(); }
+  std::optional<uint64_t> size_hint() const override {
+    return reader_.count();
+  }
+
+ private:
+  explicit FileTraceSource(PageTraceReader reader)
+      : reader_(std::move(reader)) {}
+
+  PageTraceReader reader_;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_EPFIS_TRACE_SOURCE_H_

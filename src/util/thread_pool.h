@@ -1,0 +1,76 @@
+#ifndef EPFIS_UTIL_THREAD_POOL_H_
+#define EPFIS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace epfis {
+
+/// Small fixed-size worker pool used by the parallel statistics-collection
+/// pipeline (parallel stack-distance sharding and RunLruFitBatch).
+///
+/// Tasks are arbitrary callables; Submit returns a std::future carrying the
+/// task's result. Exceptions thrown by a task are captured in its future
+/// (std::packaged_task semantics) and rethrown from future::get(), so a
+/// worker thread never dies from a task failure.
+///
+/// The destructor drains the queue — every task submitted before
+/// destruction runs to completion — then joins the workers. Submitting
+/// from within a task is allowed; submitting after destruction has begun
+/// is a programming error.
+///
+/// Do not block a pool task on the future of another task submitted to the
+/// same pool: with all workers blocked waiting, the dependency can never be
+/// scheduled (classic nested-parallelism deadlock). RunLruFitBatch forces
+/// per-trace computation serial for exactly this reason.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains pending tasks, then joins all workers.
+  ~ThreadPool();
+
+  /// Schedules `f` and returns a future for its result.
+  template <typename F>
+  auto Submit(F f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Hardware concurrency, never less than 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;  // Guarded by mu_.
+  bool stopping_ = false;                    // Guarded by mu_.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_UTIL_THREAD_POOL_H_

@@ -1,0 +1,140 @@
+#include "buffer/parallel_stack_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "buffer/stack_distance.h"
+#include "epfis/trace_source.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/zipf.h"
+
+namespace epfis {
+namespace {
+
+StackDistanceHistogram SerialHistogram(const std::vector<PageId>& trace) {
+  StackDistanceSimulator sim(trace.size());
+  sim.AccessAll(trace);
+  return sim.histogram();
+}
+
+// The property at the heart of the parallel pipeline: for any trace and
+// any shard count, the sharded computation is exactly the serial one.
+void ExpectParallelMatchesSerial(const std::vector<PageId>& trace,
+                                 ThreadPool& pool, size_t num_shards) {
+  StackDistanceHistogram serial = SerialHistogram(trace);
+  StackDistanceOptions options;
+  options.num_shards = num_shards;
+  options.min_shard_refs = 1;  // Exercise genuinely tiny shards.
+  VectorTraceSource source = VectorTraceSource::View(trace);
+  auto parallel = ComputeStackDistances(source, &pool, options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(parallel->accesses(), serial.accesses());
+  EXPECT_EQ(parallel->cold_misses(), serial.cold_misses());
+  EXPECT_TRUE(*parallel == serial) << "shards=" << num_shards;
+  // Spot-check the derived fetch counts too (what LRU-Fit consumes).
+  for (uint64_t b : {0ULL, 1ULL, 2ULL, 5ULL, 17ULL, 100ULL, 100000ULL}) {
+    EXPECT_EQ(parallel->Fetches(b), serial.Fetches(b))
+        << "shards=" << num_shards << " b=" << b;
+  }
+}
+
+std::vector<PageId> UniformTrace(size_t refs, uint32_t pages, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PageId> trace;
+  trace.reserve(refs);
+  for (size_t i = 0; i < refs; ++i) {
+    trace.push_back(static_cast<PageId>(rng.NextBounded(pages)));
+  }
+  return trace;
+}
+
+std::vector<PageId> ZipfTrace(size_t refs, uint64_t pages, double theta,
+                              uint64_t seed) {
+  Rng rng(seed);
+  ZipfDistribution zipf = ZipfDistribution::Make(pages, theta).value();
+  std::vector<PageId> trace;
+  trace.reserve(refs);
+  for (size_t i = 0; i < refs; ++i) {
+    trace.push_back(static_cast<PageId>(zipf.Sample(rng) - 1));
+  }
+  return trace;
+}
+
+TEST(ParallelStackDistanceTest, MatchesSerialOnUniformTraces) {
+  ThreadPool pool(3);
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto trace = UniformTrace(20'000, 500, seed);
+    for (size_t shards : {1u, 2u, 3u, 7u, 16u}) {
+      ExpectParallelMatchesSerial(trace, pool, shards);
+    }
+  }
+}
+
+TEST(ParallelStackDistanceTest, MatchesSerialOnZipfTraces) {
+  ThreadPool pool(3);
+  for (uint64_t seed : {11ULL, 12ULL}) {
+    auto trace = ZipfTrace(20'000, 1'000, 0.86, seed);
+    for (size_t shards : {1u, 2u, 5u, 13u}) {
+      ExpectParallelMatchesSerial(trace, pool, shards);
+    }
+  }
+}
+
+TEST(ParallelStackDistanceTest, MatchesSerialOnStructuredTraces) {
+  ThreadPool pool(2);
+  // Clustered: page reuse never crosses a reference gap.
+  std::vector<PageId> clustered;
+  for (PageId p = 0; p < 300; ++p) {
+    for (int r = 0; r < 7; ++r) clustered.push_back(p);
+  }
+  // Round-robin: every reuse distance equals the page count.
+  std::vector<PageId> round_robin;
+  for (int r = 0; r < 9; ++r) {
+    for (PageId p = 0; p < 250; ++p) round_robin.push_back(p);
+  }
+  for (size_t shards : {2u, 4u, 11u}) {
+    ExpectParallelMatchesSerial(clustered, pool, shards);
+    ExpectParallelMatchesSerial(round_robin, pool, shards);
+  }
+}
+
+TEST(ParallelStackDistanceTest, MoreShardsThanReferences) {
+  ThreadPool pool(2);
+  std::vector<PageId> tiny{3, 1, 3, 2, 1, 3};
+  ExpectParallelMatchesSerial(tiny, pool, 16);
+  std::vector<PageId> single{42};
+  ExpectParallelMatchesSerial(single, pool, 4);
+}
+
+TEST(ParallelStackDistanceTest, EmptyTraceFails) {
+  ThreadPool pool(2);
+  std::vector<PageId> empty;
+  VectorTraceSource source = VectorTraceSource::View(empty);
+  EXPECT_FALSE(ComputeStackDistances(source, &pool).ok());
+  VectorTraceSource serial_source = VectorTraceSource::View(empty);
+  EXPECT_FALSE(ComputeStackDistances(serial_source, nullptr).ok());
+}
+
+TEST(ParallelStackDistanceTest, NullPoolMatchesSimulator) {
+  auto trace = UniformTrace(5'000, 200, 99);
+  VectorTraceSource source = VectorTraceSource::View(trace);
+  auto serial = ComputeStackDistances(source, nullptr);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_TRUE(*serial == SerialHistogram(trace));
+}
+
+TEST(StackDistanceHistogramTest, FetchesAtZeroBufferIsTotalReferences) {
+  // Regression: Fetches documents buffer_size >= 1; buffer_size == 0 must
+  // mean "no buffer", i.e. every access misses — not be treated as 1.
+  std::vector<PageId> trace{1, 1, 1, 2, 2, 1};
+  StackDistanceSimulator sim;
+  sim.AccessAll(trace);
+  EXPECT_EQ(sim.Fetches(0), trace.size());
+  EXPECT_EQ(sim.Fetches(1), 3u);  // 2 cold + the re-reference across page 2.
+  EXPECT_EQ(sim.histogram().Fetches(0), trace.size());
+}
+
+}  // namespace
+}  // namespace epfis

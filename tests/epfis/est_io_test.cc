@@ -188,5 +188,54 @@ TEST(EstIoTest, MissingCurveYieldsZeroFullScan) {
   EXPECT_EQ(stats.FullScanFetches(5.0), 0.0);
 }
 
+TEST(EstIoValidatingTest, AgreesWithLegacyOnValidInput) {
+  IndexStats stats = MakeStats();
+  for (double sigma : {0.01, 0.2, 1.0}) {
+    for (double sarg : {0.1, 1.0}) {
+      ScanSpec scan{sigma, sarg, 300};
+      auto validated = EstIo::Estimate(stats, scan);
+      ASSERT_TRUE(validated.ok());
+      EXPECT_DOUBLE_EQ(*validated, EstimatePageFetches(stats, scan));
+    }
+  }
+  auto full = EstIo::EstimateFullScan(stats, 200);
+  ASSERT_TRUE(full.ok());
+  EXPECT_DOUBLE_EQ(*full, EstimateFullScanFetches(stats, 200));
+}
+
+TEST(EstIoValidatingTest, RejectsOutOfDomainSigma) {
+  IndexStats stats = MakeStats();
+  for (double sigma : {-0.1, 1.5, std::nan("")}) {
+    ScanSpec scan{sigma, 1.0, 300};
+    auto result = EstIo::Estimate(stats, scan);
+    EXPECT_FALSE(result.ok()) << "sigma=" << sigma;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  // The boundary values 0 and 1 are legal.
+  EXPECT_TRUE(EstIo::Estimate(stats, ScanSpec{0.0, 1.0, 300}).ok());
+  EXPECT_TRUE(EstIo::Estimate(stats, ScanSpec{1.0, 1.0, 300}).ok());
+}
+
+TEST(EstIoValidatingTest, RejectsOutOfDomainSargableSelectivity) {
+  IndexStats stats = MakeStats();
+  for (double sarg : {0.0, -0.5, 1.2, std::nan("")}) {
+    ScanSpec scan{0.5, sarg, 300};
+    auto result = EstIo::Estimate(stats, scan);
+    EXPECT_FALSE(result.ok()) << "sarg=" << sarg;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_TRUE(EstIo::Estimate(stats, ScanSpec{0.5, 1.0, 300}).ok());
+}
+
+TEST(EstIoValidatingTest, RejectsZeroBufferPages) {
+  IndexStats stats = MakeStats();
+  EXPECT_EQ(EstIo::Estimate(stats, ScanSpec{0.5, 1.0, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(EstIo::EstimateFullScan(stats, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  // The legacy wrappers still silently compute on the same inputs.
+  EXPECT_GE(EstimatePageFetches(stats, ScanSpec{0.5, 1.0, 0}), 0.0);
+}
+
 }  // namespace
 }  // namespace epfis
