@@ -17,6 +17,7 @@
 #include "buffer/buffer_pool.h"
 #include "buffer/lru_simulator.h"
 #include "buffer/stack_distance.h"
+#include "buffer/stack_distance_kernel.h"
 #include "epfis/epfis.h"
 #include "index/btree.h"
 #include "storage/disk_manager.h"
@@ -48,6 +49,23 @@ void BM_StackDistanceAccess(benchmark::State& state) {
                           static_cast<int64_t>(trace.size()));
 }
 BENCHMARK(BM_StackDistanceAccess)->Arg(256)->Arg(4096)->Arg(65536);
+
+// The cache-conscious kernel on the identical workload — compare
+// items_per_second against BM_StackDistanceAccess for the old-vs-new
+// single-thread throughput ratio (bench_kernel runs the full-scale
+// 10M-reference comparison and emits BENCH_kernel.json).
+void BM_StackDistanceKernelAccess(benchmark::State& state) {
+  auto trace = RandomTrace(1 << 16, static_cast<uint32_t>(state.range(0)),
+                           11);
+  for (auto _ : state) {
+    StackDistanceKernel kernel(trace.size());
+    kernel.AccessAll(trace);
+    benchmark::DoNotOptimize(kernel.Fetches(64));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_StackDistanceKernelAccess)->Arg(256)->Arg(4096)->Arg(65536);
 
 void BM_LruSimulatorAccess(benchmark::State& state) {
   auto trace = RandomTrace(1 << 16, 4096, 13);

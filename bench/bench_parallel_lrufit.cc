@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "buffer/stack_distance.h"
 #include "catalog/stats_catalog.h"
 #include "epfis/lru_fit.h"
 #include "epfis/trace_source.h"
@@ -99,8 +100,14 @@ int main(int argc, char** argv) {
             << " refs over " << pages << " pages...\n";
   std::vector<PageId> trace = MakeZipfTrace(refs, pages, theta, seed);
 
-  // --- Single large index: serial vs sharded. ---
+  // --- Old-vs-new kernel: the legacy Mattson simulation alone. ---
   auto t0 = std::chrono::steady_clock::now();
+  StackDistanceSimulator legacy_sim(trace.size());
+  legacy_sim.AccessAll(trace);
+  double legacy_s = SecondsSince(t0);
+
+  // --- Single large index: serial (cache-conscious kernel) vs sharded. ---
+  t0 = std::chrono::steady_clock::now();
   auto serial = RunLruFit(trace, pages, pages / 10, "big_idx");
   double serial_s = SecondsSince(t0);
   if (!serial.ok()) {
@@ -124,6 +131,12 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"collection", "threads", "shards", "seconds",
                       "speedup"});
+  table.AddRow()
+      .Cell("legacy Mattson simulation")
+      .Cell(int64_t{1})
+      .Cell(int64_t{1})
+      .Cell(legacy_s, 3)
+      .Cell(serial_s / legacy_s, 2);
   table.AddRow()
       .Cell("serial LRU-Fit")
       .Cell(int64_t{1})

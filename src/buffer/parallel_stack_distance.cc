@@ -3,15 +3,20 @@
 #include <algorithm>
 #include <exception>
 #include <future>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "buffer/stack_distance_kernel.h"
 #include "util/fenwick.h"
+#include "util/flat_hash.h"
 #include "util/thread_pool.h"
 
 namespace epfis {
 namespace {
+
+// How far ahead the shard pass prefetches last-access slots (matches the
+// serial kernel's scheme).
+constexpr size_t kPrefetchAhead = 8;
 
 // Result of the parallel phase for one shard. Distances whose reuse window
 // lies entirely inside the shard are final (in `hist`); each shard-first
@@ -30,45 +35,55 @@ struct ShardResult {
 // A reference whose previous access is inside the shard has a reuse window
 // entirely inside the shard, so its local distance equals its global
 // distance and can be histogrammed immediately.
+//
+// Uses the kernel's tricks directly: flat last-access table with lookahead
+// prefetch, and the one-sided count `table_size - PrefixSum(prev - 1)` in
+// place of the two-sided RangeSum (every live bit is at a local time < i,
+// and the table holds one live bit per distinct page seen).
 ShardResult ProcessShard(const std::vector<PageId>& shard, uint64_t offset) {
   ShardResult result;
   FenwickTree live(shard.empty() ? 1 : shard.size());
-  std::unordered_map<PageId, uint64_t> last;  // Local positions.
-  last.reserve(shard.size() / 4 + 8);
+  FlatHashMap<PageId, uint64_t, kInvalidPageId> last(shard.size() / 4 + 8);
   for (size_t i = 0; i < shard.size(); ++i) {
-    auto [it, inserted] = last.try_emplace(shard[i], i);
+    if (i + kPrefetchAhead < shard.size()) {
+      last.Prefetch(shard[i + kPrefetchAhead]);
+    }
+    auto [slot, inserted] = last.TryEmplace(shard[i], i);
     if (inserted) {
       result.first_access.emplace_back(shard[i], offset + i);
     } else {
-      uint64_t d = static_cast<uint64_t>(
-          live.RangeSum(static_cast<size_t>(it->second), i - 1));
+      uint64_t prev = *slot;
+      uint64_t below =
+          prev == 0 ? 0 : static_cast<uint64_t>(live.PrefixSum(
+                              static_cast<size_t>(prev - 1)));
+      uint64_t d = static_cast<uint64_t>(last.size()) - below;
       if (d >= result.hist.size()) result.hist.resize(d + 1, 0);
       ++result.hist[d];
-      live.Add(static_cast<size_t>(it->second), -1);
-      it->second = i;
+      live.Add(static_cast<size_t>(prev), -1);
+      *slot = i;
     }
     live.Add(i, +1);
   }
   result.last_access.reserve(last.size());
-  for (const auto& [page, pos] : last) {
+  last.ForEach([&result, offset](PageId page, uint64_t pos) {
     result.last_access.emplace_back(page, offset + pos);
-  }
+  });
   return result;
 }
 
 Result<StackDistanceHistogram> ComputeSerial(TraceSource& trace) {
   size_t expected = static_cast<size_t>(trace.size_hint().value_or(1024));
-  StackDistanceSimulator sim(expected == 0 ? 1 : expected);
+  StackDistanceKernel kernel(expected == 0 ? 1 : expected);
   std::vector<PageId> buffer(1 << 16);
   for (;;) {
     EPFIS_ASSIGN_OR_RETURN(size_t n, trace.Next(buffer.data(), buffer.size()));
     if (n == 0) break;
-    sim.AccessAll(buffer.data(), n);
+    kernel.AccessAll(buffer.data(), n);
   }
-  if (sim.accesses() == 0) {
+  if (kernel.accesses() == 0) {
     return Status::InvalidArgument("stack distance: empty trace");
   }
-  return sim.histogram();
+  return kernel.histogram();
 }
 
 // Merges one shard into the global histogram and last-access state.
@@ -84,34 +99,39 @@ Result<StackDistanceHistogram> ComputeSerial(TraceSource& trace) {
 // (< shard start, counted iff >= t0), and x itself sits at t0. Hence
 // RangeSum(t0, t-1) is exactly the serial stack distance.
 void MergeShard(const ShardResult& shard, FenwickTree& live,
-                std::unordered_map<PageId, uint64_t>& global_last,
+                FlatHashMap<PageId, uint64_t, kInvalidPageId>& global_last,
                 StackDistanceHistogram& out) {
   for (uint64_t d = 1; d < shard.hist.size(); ++d) {
     if (shard.hist[d] > 0) out.AddDistances(d, shard.hist[d]);
   }
   for (const auto& [page, pos] : shard.first_access) {
-    auto [it, inserted] = global_last.try_emplace(page, pos);
+    auto [slot, inserted] = global_last.TryEmplace(page, pos);
     if (inserted) {
       out.AddColdMiss();
     } else {
-      uint64_t prev = it->second;
-      uint64_t d = static_cast<uint64_t>(
-          live.RangeSum(static_cast<size_t>(prev),
-                        static_cast<size_t>(pos - 1)));
-      out.AddDistance(d);
+      // One-sided form of RangeSum(prev, pos - 1): every known page has
+      // exactly one live bit, all at positions < pos (earlier shards end
+      // before this one; earlier first-accesses of this shard precede
+      // pos), so PrefixSum(pos - 1) is just the table size.
+      uint64_t prev = *slot;
+      uint64_t below =
+          prev == 0 ? 0 : static_cast<uint64_t>(live.PrefixSum(
+                              static_cast<size_t>(prev - 1)));
+      out.AddDistance(static_cast<uint64_t>(global_last.size()) - below);
       live.Add(static_cast<size_t>(prev), -1);
-      it->second = pos;
+      *slot = pos;
     }
     live.Add(static_cast<size_t>(pos), +1);
   }
   // Advance every page touched in this shard to its final in-shard
-  // position, restoring the invariant for the next shard's merge.
+  // position, restoring the invariant for the next shard's merge. Every
+  // such page had a first access in this shard, so it is in the table.
   for (const auto& [page, pos] : shard.last_access) {
-    uint64_t& cur = global_last[page];
-    if (cur != pos) {
-      live.Add(static_cast<size_t>(cur), -1);
+    uint64_t* cur = global_last.Find(page);
+    if (*cur != pos) {
+      live.Add(static_cast<size_t>(*cur), -1);
       live.Add(static_cast<size_t>(pos), +1);
-      cur = pos;
+      *cur = pos;
     }
   }
 }
@@ -183,7 +203,7 @@ Result<StackDistanceHistogram> ComputeStackDistances(
   // where the parallel speedup comes from.
   StackDistanceHistogram out;
   FenwickTree live(static_cast<size_t>(total_refs));
-  std::unordered_map<PageId, uint64_t> global_last;
+  FlatHashMap<PageId, uint64_t, kInvalidPageId> global_last;
   for (const ShardResult& shard : results) {
     MergeShard(shard, live, global_last, out);
   }

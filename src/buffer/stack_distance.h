@@ -92,6 +92,12 @@ class StackDistanceHistogram {
 /// computed in O(log n) per reference with a Fenwick tree over reference
 /// timestamps (position t is 1 iff the page referenced at time t has not
 /// been referenced since), plus a hash map page -> last reference time.
+///
+/// This is the *reference* implementation: deliberately simple, kept as
+/// the oracle the property tests and benchmarks compare against. The
+/// production entry points (ComputeStackDistances, RunLruFit) run the
+/// cache-conscious StackDistanceKernel instead, which produces
+/// bit-identical histograms several times faster on large traces.
 class StackDistanceSimulator {
  public:
   /// `expected_refs` pre-sizes the timestamp tree; the simulator grows

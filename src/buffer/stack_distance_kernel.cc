@@ -1,0 +1,103 @@
+#include "buffer/stack_distance_kernel.h"
+
+#include <algorithm>
+
+namespace epfis {
+namespace {
+
+// Cap on the initial window. A longer trace gets its time axis bounded
+// by compaction anyway — that is the point of the kernel — so a
+// reference-sized initial tree would only re-create the legacy cache
+// footprint; the window instead grows to track the distinct-page count.
+constexpr size_t kMaxInitialWindow = size_t{1} << 16;
+
+// Cap on the hash-table pre-size derived from the reference-count hint.
+// Deliberately modest: growth rehashes are amortized O(1), while an
+// oversized slot array is scanned in full by every compaction.
+constexpr size_t kMaxInitialTableSize = size_t{1} << 17;
+
+// How far ahead AccessAll prefetches last-access slots. Far enough to
+// cover memory latency, near enough that the lines are still resident.
+constexpr size_t kPrefetchAhead = 8;
+
+size_t InitialWindow(size_t expected_refs, size_t window_hint) {
+  if (window_hint > 0) return std::max<size_t>(window_hint, 2);
+  return std::clamp(expected_refs, size_t{1024}, kMaxInitialWindow);
+}
+
+}  // namespace
+
+StackDistanceKernel::StackDistanceKernel(size_t expected_refs,
+                                         size_t window_hint)
+    : window_(InitialWindow(expected_refs, window_hint)),
+      live_(window_),
+      // A modest fraction of the references are distinct pages in the
+      // traces this models; the table grows itself if the guess is low.
+      last_access_(std::min(expected_refs / 8 + 16, kMaxInitialTableSize)) {}
+
+void StackDistanceKernel::Access(PageId page_id) {
+  if (now_ == window_) Compact();
+  auto [last, inserted] = last_access_.TryEmplace(page_id, now_);
+  if (inserted) {
+    histogram_.AddColdMiss();
+  } else {
+    uint64_t prev = *last;
+    // Every page in the table owns exactly one live bit, all at times
+    // < now, so the bits at [prev, now) are table_size - bits_below_prev
+    // (CountBelow(0) sums an empty prefix — no underflow when prev == 0).
+    uint64_t below = live_.CountBelow(static_cast<size_t>(prev));
+    histogram_.AddDistance(static_cast<uint64_t>(last_access_.size()) -
+                           below);
+    live_.Clear(static_cast<size_t>(prev));
+    *last = now_;
+  }
+  live_.Set(static_cast<size_t>(now_));
+  ++now_;
+}
+
+void StackDistanceKernel::AccessAll(const PageId* trace, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    if (i + kPrefetchAhead < count) {
+      last_access_.Prefetch(trace[i + kPrefetchAhead]);
+    }
+    Access(trace[i]);
+  }
+}
+
+void StackDistanceKernel::Compact() {
+  // The live bits are exactly the last-access values in the table; remap
+  // them onto the dense prefix [0, distinct) preserving their order.
+  // Distances only read the tree through "live bits below prev", which
+  // an order-preserving remap leaves unchanged.
+  size_t distinct = last_access_.size();
+  sorted_positions_.clear();
+  sorted_positions_.reserve(distinct);
+  last_access_.ForEach([this](PageId, uint64_t pos) {
+    sorted_positions_.push_back(pos);
+  });
+  std::sort(sorted_positions_.begin(), sorted_positions_.end());
+
+  remap_.assign(static_cast<size_t>(now_), 0);
+  for (size_t rank = 0; rank < sorted_positions_.size(); ++rank) {
+    remap_[static_cast<size_t>(sorted_positions_[rank])] = rank;
+  }
+  last_access_.ForEachMutable([this](PageId, uint64_t& pos) {
+    pos = remap_[static_cast<size_t>(pos)];
+  });
+
+  // Each compaction costs O(window + table capacity) — the table's slot
+  // array is scanned in full to harvest and rewrite positions. Keep the
+  // free span after compaction at least half the window AND at least
+  // twice the slot-scan cost, so the total amortizes to O(1) per
+  // reference regardless of the distinct-to-reference ratio.
+  size_t min_window = std::max(distinct + 1, last_access_.capacity());
+  if (min_window * 2 > window_) {
+    size_t want = min_window * 4;
+    while (window_ < want) window_ *= 2;
+  }
+  live_.AssignPrefixOnes(distinct, window_);
+  now_ = distinct;
+  ++compactions_;
+}
+
+}  // namespace epfis

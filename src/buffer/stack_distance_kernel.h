@@ -1,0 +1,180 @@
+#ifndef EPFIS_BUFFER_STACK_DISTANCE_KERNEL_H_
+#define EPFIS_BUFFER_STACK_DISTANCE_KERNEL_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "buffer/stack_distance.h"
+#include "storage/page.h"
+#include "util/flat_hash.h"
+
+namespace epfis {
+
+/// Cache-conscious rewrite of StackDistanceSimulator's hot loop. Produces a
+/// bit-identical StackDistanceHistogram on every trace (the property tests
+/// assert it); the legacy simulator remains as the reference
+/// implementation and for old-vs-new benchmarking.
+///
+/// Three changes over the legacy loop, each attacking a cache problem:
+///
+///  1. **Flat last-access table.** `unordered_map<PageId, uint64_t>`
+///     chases a bucket pointer per reference; FlatHashMap keeps (page,
+///     last access) inline in an open-addressed array, so a lookup is the
+///     probe sequence's cache lines and nothing else, and the batched
+///     AccessAll prefetches the first probe slot a few references ahead.
+///
+///  2. **One-sided Fenwick query.** Every live bit sits at some page's
+///     last-access time < now, so PrefixSum(now-1) is just the live-bit
+///     count — which equals the table size. The legacy two-sided
+///     RangeSum(prev, now-1) therefore collapses to
+///     `table.size() - PrefixSum(prev-1)`: one O(log n) tree walk per
+///     re-reference instead of two (`prev == 0` short-circuits to 0
+///     rather than underflowing the prefix bound).
+///
+///  3. **Timestamp compaction.** The legacy tree is indexed by reference
+///     timestamp and grows with the trace; on multi-million-reference
+///     traces every walk spans a tree far larger than cache. Live bits
+///     are only ever *read* through order statistics, so when `now`
+///     reaches the window capacity the kernel remaps the live last-access
+///     times onto a dense prefix [0, distinct) in ascending order —
+///     distances depend only on the relative order of live positions, so
+///     the histogram is unchanged — and restarts the clock at `distinct`.
+///     The tree is thereby bounded by O(distinct pages), not O(references),
+///     and the doubling Resize of the legacy loop disappears. Each
+///     compaction is O(window + distinct·log distinct) and frees at least
+///     half the window, so the amortized cost is O(log distinct) per
+///     reference.
+class StackDistanceKernel {
+ public:
+  /// `expected_refs` pre-sizes the timestamp window and the last-access
+  /// table (pass TraceSource::size_hint() when known). `window_hint`
+  /// overrides the initial window capacity; tests pass tiny values to
+  /// force compactions on short traces.
+  explicit StackDistanceKernel(size_t expected_refs = 1024,
+                               size_t window_hint = 0);
+
+  /// Processes one page reference.
+  void Access(PageId page_id);
+
+  /// Processes a whole reference string.
+  void AccessAll(const std::vector<PageId>& trace) {
+    AccessAll(trace.data(), trace.size());
+  }
+
+  /// Processes `count` references from a buffer, prefetching upcoming
+  /// hash slots (chunked streaming; the main entry point).
+  void AccessAll(const PageId* trace, size_t count);
+
+  /// Number of page fetches a `buffer_size`-slot LRU buffer would have
+  /// performed on the trace so far. `buffer_size == 0` returns the total
+  /// reference count (no buffer: every access misses).
+  uint64_t Fetches(uint64_t buffer_size) const {
+    return histogram_.Fetches(buffer_size);
+  }
+
+  /// Fetch counts for several buffer sizes (any order).
+  std::vector<uint64_t> FetchesForSizes(
+      const std::vector<uint64_t>& buffer_sizes) const {
+    return histogram_.FetchesForSizes(buffer_sizes);
+  }
+
+  /// Number of references processed.
+  uint64_t accesses() const { return histogram_.accesses(); }
+
+  /// Number of distinct pages referenced — the paper's A.
+  uint64_t distinct_pages() const { return histogram_.distinct_pages(); }
+
+  /// First-touch misses; equals distinct_pages().
+  uint64_t cold_misses() const { return histogram_.cold_misses(); }
+
+  /// The accumulated histogram.
+  const StackDistanceHistogram& histogram() const { return histogram_; }
+
+  /// Compactions performed so far (observability; tests assert > 0 when
+  /// they mean to exercise the compaction path).
+  uint64_t compactions() const { return compactions_; }
+
+ private:
+  // Order-statistic structure over the compacted time axis, specialized
+  // for the hot loop. Instead of a flat Fenwick tree with one node per
+  // timestamp (8 bytes x references in the legacy simulator — megabytes
+  // that every O(log n) walk sprays cache misses across), live bits are
+  // stored in 64-bit bitmap words with a Fenwick tree over the per-word
+  // popcounts. A window of W timestamps costs W/8 bytes of bitmap plus
+  // W/16 bytes of tree (uint32 nodes), so with the compaction keeping W
+  // at O(distinct pages) the whole structure sits in L2. CountBelow is
+  // one masked popcount plus a word-level prefix walk; Set/Clear are one
+  // bit flip plus a word-level tree update. Word counts are live-bit
+  // counts, bounded by the distinct-page count < 2^32 (PageId is
+  // 32-bit), and the -1 updates wrap modularly, so sums stay exact.
+  class LiveTree {
+   public:
+    explicit LiveTree(size_t n) { AssignPrefixOnes(0, n); }
+
+    void Set(size_t i) {
+      bits_[i >> 6] |= uint64_t{1} << (i & 63);
+      Add(i >> 6, 1);
+    }
+
+    void Clear(size_t i) {
+      bits_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+      Add(i >> 6, static_cast<uint32_t>(-1));
+    }
+
+    /// Number of live bits at positions strictly below `i` (no underflow
+    /// edge: i == 0 sums an empty prefix and returns 0).
+    uint64_t CountBelow(size_t i) const {
+      size_t word = i >> 6;
+      uint64_t mask = (uint64_t{1} << (i & 63)) - 1;
+      uint32_t sum = static_cast<uint32_t>(
+          std::popcount(bits_[word] & mask));
+      for (size_t p = word; p > 0; p -= p & (~p + 1)) {
+        sum += tree_[p];
+      }
+      return sum;
+    }
+
+    /// Reinitializes to `n` positions with [0, ones) live, in O(n / 64).
+    void AssignPrefixOnes(size_t ones, size_t n) {
+      size_t words = (n >> 6) + 1;
+      bits_.assign(words, 0);
+      tree_.assign(words + 1, 0);
+      for (size_t i = 0; i < ones >> 6; ++i) bits_[i] = ~uint64_t{0};
+      if (ones & 63) bits_[ones >> 6] = (uint64_t{1} << (ones & 63)) - 1;
+      for (size_t i = 1; i <= words; ++i) {
+        tree_[i] += static_cast<uint32_t>(std::popcount(bits_[i - 1]));
+        size_t parent = i + (i & (~i + 1));
+        if (parent <= words) tree_[parent] += tree_[i];
+      }
+    }
+
+   private:
+    // Fenwick point update at `word` (1-based internally).
+    void Add(size_t word, uint32_t delta) {
+      for (size_t p = word + 1; p < tree_.size(); p += p & (~p + 1)) {
+        tree_[p] += delta;
+      }
+    }
+
+    std::vector<uint64_t> bits_;  // Live bit per timestamp.
+    std::vector<uint32_t> tree_;  // Fenwick over per-word popcounts.
+  };
+
+  void Compact();
+
+  uint64_t now_ = 0;   // Next timestamp on the (compacted) time axis.
+  size_t window_ = 0;  // Fenwick capacity; now_ < window_ between accesses.
+  LiveTree live_;
+  FlatHashMap<PageId, uint64_t, kInvalidPageId> last_access_;
+  StackDistanceHistogram histogram_;
+  uint64_t compactions_ = 0;
+  // Scratch buffers reused across compactions.
+  std::vector<uint64_t> sorted_positions_;
+  std::vector<uint64_t> remap_;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_BUFFER_STACK_DISTANCE_KERNEL_H_

@@ -7,7 +7,7 @@
 namespace epfis {
 namespace {
 
-constexpr char kPageMagic[8] = {'E', 'P', 'F', 'T', 'R', 'C', '0', '1'};
+constexpr const char* kPageMagic = kPageTraceMagic;
 constexpr char kKeyPageMagic[8] = {'E', 'P', 'K', 'T', 'R', 'C', '0', '1'};
 
 Status WriteHeader(std::ofstream& out, const char* magic, uint64_t count) {

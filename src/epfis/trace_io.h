@@ -24,6 +24,13 @@ namespace epfis {
 /// entries. Load validates magic and length and fails with Corruption on
 /// truncated or foreign files.
 
+/// Magic bytes opening every SavePageTrace file.
+inline constexpr char kPageTraceMagic[8] = {'E', 'P', 'F', 'T',
+                                            'R', 'C', '0', '1'};
+
+/// Header size of a SavePageTrace file: magic plus the u64 entry count.
+inline constexpr size_t kPageTraceHeaderSize = 8 + sizeof(uint64_t);
+
 /// Saves a plain data-page trace (what RunLruFit consumes).
 Status SavePageTrace(const std::vector<PageId>& trace,
                      const std::string& path);

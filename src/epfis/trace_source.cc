@@ -2,6 +2,15 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define EPFIS_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace epfis {
 
@@ -21,6 +30,113 @@ Result<FileTraceSource> FileTraceSource::Open(const std::string& path) {
 
 Result<size_t> FileTraceSource::Next(PageId* buffer, size_t capacity) {
   return reader_.Read(buffer, capacity);
+}
+
+bool MmapTraceSource::Supported() {
+#ifdef EPFIS_HAS_MMAP
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifdef EPFIS_HAS_MMAP
+
+Result<MmapTraceSource> MmapTraceSource::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  size_t file_size = static_cast<size_t>(st.st_size);
+  if (file_size < kPageTraceHeaderSize) {
+    ::close(fd);
+    return Status::Corruption("trace file: bad magic");
+  }
+  void* map = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping keeps the file alive.
+  if (map == MAP_FAILED) return Status::IoError("cannot mmap " + path);
+
+  const char* bytes = static_cast<const char*>(map);
+  if (std::memcmp(bytes, kPageTraceMagic, 8) != 0) {
+    ::munmap(map, file_size);
+    return Status::Corruption("trace file: bad magic");
+  }
+  uint64_t count;
+  std::memcpy(&count, bytes + 8, sizeof(count));
+  uint64_t body = file_size - kPageTraceHeaderSize;
+  // Compare via division so a hostile count cannot overflow count * 4.
+  if (count > body / sizeof(PageId)) {
+    ::munmap(map, file_size);
+    return Status::Corruption("trace file: truncated body");
+  }
+  if (body > count * sizeof(PageId)) {
+    ::munmap(map, file_size);
+    return Status::Corruption("trace file: trailing bytes");
+  }
+  // 16-byte header keeps the entries PageId-aligned within the
+  // page-aligned mapping.
+  const PageId* entries =
+      reinterpret_cast<const PageId*>(bytes + kPageTraceHeaderSize);
+  return MmapTraceSource(map, file_size, entries, count);
+}
+
+MmapTraceSource::~MmapTraceSource() {
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+}
+
+#else  // !EPFIS_HAS_MMAP
+
+Result<MmapTraceSource> MmapTraceSource::Open(const std::string& path) {
+  (void)path;
+  return Status::FailedPrecondition("mmap unavailable on this platform");
+}
+
+MmapTraceSource::~MmapTraceSource() = default;
+
+#endif  // EPFIS_HAS_MMAP
+
+MmapTraceSource::MmapTraceSource(MmapTraceSource&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_len_(std::exchange(other.map_len_, 0)),
+      entries_(std::exchange(other.entries_, nullptr)),
+      count_(std::exchange(other.count_, 0)),
+      pos_(std::exchange(other.pos_, 0)) {}
+
+MmapTraceSource& MmapTraceSource::operator=(MmapTraceSource&& other) noexcept {
+  if (this != &other) {
+#ifdef EPFIS_HAS_MMAP
+    if (map_ != nullptr) ::munmap(map_, map_len_);
+#endif
+    map_ = std::exchange(other.map_, nullptr);
+    map_len_ = std::exchange(other.map_len_, 0);
+    entries_ = std::exchange(other.entries_, nullptr);
+    count_ = std::exchange(other.count_, 0);
+    pos_ = std::exchange(other.pos_, 0);
+  }
+  return *this;
+}
+
+Result<size_t> MmapTraceSource::Next(PageId* buffer, size_t capacity) {
+  size_t n = static_cast<size_t>(
+      std::min<uint64_t>(capacity, count_ - pos_));
+  if (n > 0) {
+    std::memcpy(buffer, entries_ + pos_, n * sizeof(PageId));
+    pos_ += n;
+  }
+  return n;
+}
+
+Result<std::unique_ptr<TraceSource>> OpenTraceSource(const std::string& path) {
+  if (MmapTraceSource::Supported()) {
+    EPFIS_ASSIGN_OR_RETURN(MmapTraceSource source, MmapTraceSource::Open(path));
+    return std::unique_ptr<TraceSource>(
+        new MmapTraceSource(std::move(source)));
+  }
+  EPFIS_ASSIGN_OR_RETURN(FileTraceSource source, FileTraceSource::Open(path));
+  return std::unique_ptr<TraceSource>(new FileTraceSource(std::move(source)));
 }
 
 }  // namespace epfis

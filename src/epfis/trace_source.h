@@ -2,6 +2,7 @@
 #define EPFIS_EPFIS_TRACE_SOURCE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -98,6 +99,60 @@ class FileTraceSource final : public TraceSource {
 
   PageTraceReader reader_;
 };
+
+/// TraceSource over a SavePageTrace file mapped read-only into the address
+/// space: the kernel's page cache backs the trace directly, so Next is a
+/// straight memcpy out of the mapping with no ifstream buffering between
+/// the file and the simulator, and `entries()` exposes the whole trace
+/// zero-copy for consumers that can read in place. Move-only; unmaps on
+/// destruction.
+///
+/// Open validates the same format PageTraceReader does and uses the same
+/// Status taxonomy — Corruption for bad magic, a truncated header or body,
+/// or trailing bytes — except the body errors surface eagerly at Open
+/// (the file length already betrays them) rather than during Read.
+///
+/// On platforms without mmap, Open fails with FailedPrecondition (see
+/// Supported()); OpenTraceSource below falls back to FileTraceSource.
+class MmapTraceSource final : public TraceSource {
+ public:
+  static Result<MmapTraceSource> Open(const std::string& path);
+
+  /// Whether this build can mmap at all.
+  static bool Supported();
+
+  MmapTraceSource(MmapTraceSource&& other) noexcept;
+  MmapTraceSource& operator=(MmapTraceSource&& other) noexcept;
+  ~MmapTraceSource() override;
+
+  Result<size_t> Next(PageId* buffer, size_t capacity) override;
+  Status Reset() override {
+    pos_ = 0;
+    return Status::Ok();
+  }
+  std::optional<uint64_t> size_hint() const override { return count_; }
+
+  /// The whole trace, resident via the mapping (zero-copy consumption).
+  const PageId* entries() const { return entries_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  MmapTraceSource(void* map, size_t map_len, const PageId* entries,
+                  uint64_t count)
+      : map_(map), map_len_(map_len), entries_(entries), count_(count) {}
+
+  void* map_ = nullptr;
+  size_t map_len_ = 0;
+  const PageId* entries_ = nullptr;
+  uint64_t count_ = 0;
+  uint64_t pos_ = 0;
+};
+
+/// Opens the fastest available TraceSource for a SavePageTrace file:
+/// MmapTraceSource where mmap exists, FileTraceSource otherwise. Format
+/// errors propagate (no silent fallback on a corrupt file — both readers
+/// reject it with the same taxonomy).
+Result<std::unique_ptr<TraceSource>> OpenTraceSource(const std::string& path);
 
 }  // namespace epfis
 

@@ -1,0 +1,138 @@
+#ifndef EPFIS_UTIL_FLAT_HASH_H_
+#define EPFIS_UTIL_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace epfis {
+
+/// Open-addressing hash map tuned for the Mattson stack-distance hot loop:
+/// flat slot array (no per-node allocation, no pointer chasing), power-of-two
+/// capacity with Fibonacci hashing, linear probing, and no tombstones —
+/// the simulators only ever insert and update, never erase.
+///
+/// `kEmptyKey` marks unoccupied slots and must never be inserted (the
+/// simulators use kInvalidPageId, which no trace contains). Values are
+/// stored inline next to their key, so a lookup touches exactly the cache
+/// lines of its probe sequence, and `Prefetch` lets a batched caller pull
+/// the first probe slot of an upcoming key into cache ahead of time.
+///
+/// Grows at a 0.7 load factor by doubling and reinserting; pointers
+/// returned by Find/TryEmplace are invalidated by any later insert.
+template <typename Key, typename Value, Key kEmptyKey>
+class FlatHashMap {
+ public:
+  explicit FlatHashMap(size_t expected = 0) { Rebuild(CapacityFor(expected)); }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+
+  /// Ensures `n` entries fit without another rehash.
+  void Reserve(size_t n) {
+    size_t want = CapacityFor(n);
+    if (want > slots_.size()) Rebuild(want);
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent.
+  Value* Find(Key key) {
+    size_t i = IndexFor(key);
+    for (;;) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) return &slot.value;
+      if (slot.key == kEmptyKey) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+  const Value* Find(Key key) const {
+    return const_cast<FlatHashMap*>(this)->Find(key);
+  }
+
+  /// Inserts (key, value) if `key` is absent. Returns the slot's value
+  /// pointer and whether an insert happened (the existing value is left
+  /// untouched on a hit, like std::unordered_map::try_emplace).
+  std::pair<Value*, bool> TryEmplace(Key key, Value value) {
+    if ((size_ + 1) * 10 > slots_.size() * 7) Rebuild(slots_.size() * 2);
+    size_t i = IndexFor(key);
+    for (;;) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) return {&slot.value, false};
+      if (slot.key == kEmptyKey) {
+        slot.key = key;
+        slot.value = value;
+        ++size_;
+        return {&slot.value, true};
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Hints the CPU to load the first probe slot of `key`'s sequence.
+  void Prefetch(Key key) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[IndexFor(key)]);
+#else
+    (void)key;
+#endif
+  }
+
+  /// Calls fn(key, value) for every occupied slot, in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.key != kEmptyKey) fn(slot.key, slot.value);
+    }
+  }
+
+  /// Mutable variant: fn(key, Value&). Keys must not be changed.
+  template <typename Fn>
+  void ForEachMutable(Fn fn) {
+    for (Slot& slot : slots_) {
+      if (slot.key != kEmptyKey) fn(slot.key, slot.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key;
+    Value value;
+  };
+
+  // Fibonacci (multiplicative) hashing; the high bits carry the entropy,
+  // so shift them down to index the power-of-two slot array.
+  size_t IndexFor(Key key) const {
+    uint64_t h = static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(h >> shift_) & mask_;
+  }
+
+  static size_t CapacityFor(size_t expected) {
+    size_t cap = 16;
+    // Keep the steady-state load under 0.7 for the expected size.
+    while (expected * 10 > cap * 7) cap *= 2;
+    return cap;
+  }
+
+  void Rebuild(size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{kEmptyKey, Value{}});
+    mask_ = new_capacity - 1;
+    shift_ = 64;
+    for (size_t c = new_capacity; c > 1; c >>= 1) --shift_;
+    for (const Slot& slot : old) {
+      if (slot.key == kEmptyKey) continue;
+      size_t i = IndexFor(slot.key);
+      while (slots_[i].key != kEmptyKey) i = (i + 1) & mask_;
+      slots_[i] = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+  size_t mask_ = 0;
+  unsigned shift_ = 64;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_UTIL_FLAT_HASH_H_

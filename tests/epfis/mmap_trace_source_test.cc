@@ -1,0 +1,202 @@
+// Edge-case taxonomy tests for the two file-backed trace readers:
+// PageTraceReader (ifstream, lazy body validation) and MmapTraceSource
+// (mmap, eager validation at Open). Both must classify every malformed
+// file identically — same StatusCode — even though the mmap reader
+// surfaces body errors at Open while the streaming reader surfaces them
+// on the Read that trips over them.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "epfis/trace_io.h"
+#include "epfis/trace_source.h"
+#include "util/random.h"
+
+namespace epfis {
+namespace {
+
+class TempTraceFile {
+ public:
+  explicit TempTraceFile(const std::string& name)
+      : path_("/tmp/epfis_mmap_test_" + name + ".bin") {}
+  ~TempTraceFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+  void WriteRaw(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  void AppendRaw(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  void Truncate(long delta) {
+    std::ifstream in(path_, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    contents.resize(contents.size() - static_cast<size_t>(delta));
+    WriteRaw(contents);
+  }
+
+ private:
+  std::string path_;
+};
+
+// Status the streaming reader assigns to `path`, wherever it surfaces:
+// at Open or on any Read (draining the whole file).
+Status StreamingVerdict(const std::string& path) {
+  auto reader = PageTraceReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  PageId buf[64];
+  for (;;) {
+    auto n = reader->Read(buf, 64);
+    if (!n.ok()) return n.status();
+    if (*n == 0) return Status::Ok();
+  }
+}
+
+Status MmapVerdict(const std::string& path) {
+  auto source = MmapTraceSource::Open(path);
+  if (!source.ok()) return source.status();
+  PageId buf[64];
+  for (;;) {
+    auto n = source->Next(buf, 64);
+    if (!n.ok()) return n.status();
+    if (*n == 0) return Status::Ok();
+  }
+}
+
+TEST(MmapTraceSourceTest, SupportedOnThisPlatform) {
+  // The CI and dev platforms are POSIX; the fallback path is exercised
+  // through OpenTraceSource's taxonomy tests below either way.
+  EXPECT_TRUE(MmapTraceSource::Supported());
+}
+
+TEST(MmapTraceSourceTest, RoundTripsAndResets) {
+  Rng rng(7);
+  std::vector<PageId> trace;
+  for (int i = 0; i < 50'000; ++i) {
+    trace.push_back(static_cast<PageId>(rng.NextBounded(999)));
+  }
+  TempTraceFile file("roundtrip");
+  ASSERT_TRUE(SavePageTrace(trace, file.path()).ok());
+
+  auto source = MmapTraceSource::Open(file.path());
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  ASSERT_TRUE(source->size_hint().has_value());
+  EXPECT_EQ(*source->size_hint(), trace.size());
+  EXPECT_EQ(source->count(), trace.size());
+
+  // Chunk size deliberately not a divisor of the trace length.
+  std::vector<PageId> drained;
+  std::vector<PageId> buf(4'097);
+  for (;;) {
+    auto n = source->Next(buf.data(), buf.size());
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) break;
+    drained.insert(drained.end(), buf.begin(), buf.begin() + *n);
+  }
+  EXPECT_EQ(drained, trace);
+
+  // Zero-copy view sees the same entries.
+  ASSERT_NE(source->entries(), nullptr);
+  EXPECT_EQ(source->entries()[0], trace[0]);
+  EXPECT_EQ(source->entries()[trace.size() - 1], trace.back());
+
+  ASSERT_TRUE(source->Reset().ok());
+  auto n = source->Next(buf.data(), 3);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+  EXPECT_EQ(buf[0], trace[0]);
+}
+
+TEST(MmapTraceSourceTest, MoveTransfersTheMapping) {
+  TempTraceFile file("move");
+  ASSERT_TRUE(SavePageTrace({1, 2, 3}, file.path()).ok());
+  auto opened = MmapTraceSource::Open(file.path());
+  ASSERT_TRUE(opened.ok());
+  MmapTraceSource moved = std::move(opened).value();
+  PageId buf[8];
+  auto n = moved.Next(buf, 8);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+  EXPECT_EQ(buf[2], 3u);
+}
+
+TEST(MmapTraceSourceTest, MissingFileIsIoErrorInBothReaders) {
+  const std::string path = "/tmp/epfis_no_such_trace_mmap.bin";
+  EXPECT_EQ(MmapVerdict(path).code(), StatusCode::kIoError);
+  EXPECT_EQ(StreamingVerdict(path).code(), StatusCode::kIoError);
+}
+
+TEST(MmapTraceSourceTest, EmptyTraceIsValidInBothReaders) {
+  TempTraceFile file("empty");
+  ASSERT_TRUE(SavePageTrace({}, file.path()).ok());
+  EXPECT_TRUE(MmapVerdict(file.path()).ok());
+  EXPECT_TRUE(StreamingVerdict(file.path()).ok());
+  auto source = MmapTraceSource::Open(file.path());
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(*source->size_hint(), 0u);
+  PageId buf[4];
+  EXPECT_EQ(source->Next(buf, 4).value(), 0u);
+}
+
+TEST(MmapTraceSourceTest, TruncatedBodyIsCorruptionInBothReaders) {
+  TempTraceFile file("truncated");
+  ASSERT_TRUE(SavePageTrace({1, 2, 3, 4, 5}, file.path()).ok());
+  file.Truncate(2);  // Chop into the last entry.
+  EXPECT_EQ(MmapVerdict(file.path()).code(), StatusCode::kCorruption);
+  EXPECT_EQ(StreamingVerdict(file.path()).code(), StatusCode::kCorruption);
+}
+
+TEST(MmapTraceSourceTest, TrailingBytesAreCorruptionInBothReaders) {
+  TempTraceFile file("trailing");
+  ASSERT_TRUE(SavePageTrace({1, 2, 3}, file.path()).ok());
+  file.AppendRaw("xx");
+  EXPECT_EQ(MmapVerdict(file.path()).code(), StatusCode::kCorruption);
+  EXPECT_EQ(StreamingVerdict(file.path()).code(), StatusCode::kCorruption);
+}
+
+TEST(MmapTraceSourceTest, ForeignMagicIsCorruptionInBothReaders) {
+  TempTraceFile file("magic");
+  std::string foreign = "NOTEPFIS";
+  foreign.append(8, '\0');  // Plausible length field after the bad magic.
+  file.WriteRaw(foreign);
+  EXPECT_EQ(MmapVerdict(file.path()).code(), StatusCode::kCorruption);
+  EXPECT_EQ(StreamingVerdict(file.path()).code(), StatusCode::kCorruption);
+}
+
+TEST(MmapTraceSourceTest, TruncatedHeaderIsCorruptionInBothReaders) {
+  TempTraceFile file("header");
+  file.WriteRaw("EPFT");  // Shorter than the magic itself.
+  EXPECT_EQ(MmapVerdict(file.path()).code(), StatusCode::kCorruption);
+  EXPECT_EQ(StreamingVerdict(file.path()).code(), StatusCode::kCorruption);
+}
+
+TEST(OpenTraceSourceTest, PicksAWorkingSourceAndPropagatesCorruption) {
+  TempTraceFile file("factory");
+  std::vector<PageId> trace{4, 5, 6, 4};
+  ASSERT_TRUE(SavePageTrace(trace, file.path()).ok());
+  auto source = OpenTraceSource(file.path());
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  ASSERT_TRUE((*source)->size_hint().has_value());
+  EXPECT_EQ(*(*source)->size_hint(), trace.size());
+  PageId buf[8];
+  auto n = (*source)->Next(buf, 8);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 4u);
+  EXPECT_EQ(buf[3], 4u);
+
+  file.AppendRaw("z");
+  EXPECT_EQ(OpenTraceSource(file.path()).status().code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace epfis

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "util/random.h"
@@ -74,6 +75,28 @@ TEST(FenwickTest, ResizeSmallerIsNoOp) {
   tree.Resize(2);
   EXPECT_EQ(tree.size(), 8u);
   EXPECT_EQ(tree.RangeSum(5, 5), 5);
+}
+
+TEST(FenwickTest, AssignPrefixOnesBuildsDensePrefix) {
+  FenwickTree tree(4);
+  tree.Add(2, 9);  // Old contents must be discarded.
+  for (size_t ones : {0u, 1u, 5u, 12u}) {
+    tree.AssignPrefixOnes(ones, 12);
+    EXPECT_EQ(tree.size(), 12u);
+    EXPECT_EQ(tree.Total(), static_cast<int64_t>(ones)) << ones;
+    for (size_t i = 0; i < 12; ++i) {
+      EXPECT_EQ(tree.RangeSum(i, i), i < ones ? 1 : 0)
+          << "ones=" << ones << " i=" << i;
+      EXPECT_EQ(tree.PrefixSum(i),
+                static_cast<int64_t>(std::min(i + 1, ones)))
+          << "ones=" << ones << " i=" << i;
+    }
+    // Updates after the bulk build behave like ordinary Adds.
+    if (ones > 0) {
+      tree.Add(0, -1);
+      EXPECT_EQ(tree.Total(), static_cast<int64_t>(ones) - 1);
+    }
+  }
 }
 
 }  // namespace
