@@ -197,8 +197,11 @@ class Shell {
     args >> scan.sargable_selectivity;
     EPFIS_ASSIGN_OR_RETURN(IndexStats stats,
                            catalog_.stats().Get(name + ".key"));
-    std::cout << "estimated fetches: "
-              << EstimatePageFetches(stats, scan) << '\n';
+    // Validating entry point: a malformed spec (sigma outside [0, 1],
+    // buffer of 0 pages) prints an error instead of a silently clamped
+    // number.
+    EPFIS_ASSIGN_OR_RETURN(double fetches, EstIo::Estimate(stats, scan));
+    std::cout << "estimated fetches: " << fetches << '\n';
     return Status::Ok();
   }
 

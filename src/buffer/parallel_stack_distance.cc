@@ -7,12 +7,33 @@
 #include <vector>
 
 #include "buffer/stack_distance_kernel.h"
+#include "obs/metrics.h"
 #include "util/fenwick.h"
 #include "util/flat_hash.h"
 #include "util/thread_pool.h"
 
 namespace epfis {
 namespace {
+
+// Folds a finished kernel's run counters into the global registry. The
+// kernel itself keeps plain members in its hot loop; publishing once per
+// run keeps the instrumentation off the per-reference path.
+void PublishKernelMetrics(const StackDistanceKernel& kernel) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter refs = registry.GetCounter("kernel.refs");
+  static Counter compactions = registry.GetCounter("kernel.compactions");
+  static Counter resizes = registry.GetCounter("kernel.window_resizes");
+  static Counter lookups = registry.GetCounter("kernel.hash_lookups");
+  static Counter probes = registry.GetCounter("kernel.hash_probes");
+  static Counter grows = registry.GetCounter("kernel.hash_grows");
+  refs.Increment(kernel.accesses());
+  compactions.Increment(kernel.compactions());
+  resizes.Increment(kernel.window_resizes());
+  auto hash = kernel.hash_stats();
+  lookups.Increment(hash.lookups);
+  probes.Increment(hash.probes);
+  grows.Increment(hash.grows);
+}
 
 // How far ahead the shard pass prefetches last-access slots (matches the
 // serial kernel's scheme).
@@ -41,6 +62,14 @@ struct ShardResult {
 // place of the two-sided RangeSum (every live bit is at a local time < i,
 // and the table holds one live bit per distinct page seen).
 ShardResult ProcessShard(const std::vector<PageId>& shard, uint64_t offset) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter shards_counter = registry.GetCounter("sd.shards");
+  static Counter shard_refs_counter = registry.GetCounter("sd.shard_refs");
+  static Counter deferred_counter =
+      registry.GetCounter("sd.deferred_first_accesses");
+  static LatencyHistogram shard_ns = registry.GetHistogram("sd.shard_ns");
+  ScopedTimer timer(shard_ns);
+
   ShardResult result;
   FenwickTree live(shard.empty() ? 1 : shard.size());
   FlatHashMap<PageId, uint64_t, kInvalidPageId> last(shard.size() / 4 + 8);
@@ -68,6 +97,9 @@ ShardResult ProcessShard(const std::vector<PageId>& shard, uint64_t offset) {
   last.ForEach([&result, offset](PageId page, uint64_t pos) {
     result.last_access.emplace_back(page, offset + pos);
   });
+  shards_counter.Increment();
+  shard_refs_counter.Increment(shard.size());
+  deferred_counter.Increment(result.first_access.size());
   return result;
 }
 
@@ -83,6 +115,10 @@ Result<StackDistanceHistogram> ComputeSerial(TraceSource& trace) {
   if (kernel.accesses() == 0) {
     return Status::InvalidArgument("stack distance: empty trace");
   }
+  static Counter serial_runs =
+      MetricsRegistry::Global().GetCounter("sd.serial_runs");
+  serial_runs.Increment();
+  PublishKernelMetrics(kernel);
   return kernel.histogram();
 }
 
@@ -201,11 +237,18 @@ Result<StackDistanceHistogram> ComputeStackDistances(
   // Sequential merge pass, in shard order. Cost is proportional to the
   // distinct pages per shard, not the references per shard — that gap is
   // where the parallel speedup comes from.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter parallel_runs = registry.GetCounter("sd.parallel_runs");
+  static LatencyHistogram merge_ns = registry.GetHistogram("sd.merge_ns");
+  parallel_runs.Increment();
   StackDistanceHistogram out;
   FenwickTree live(static_cast<size_t>(total_refs));
   FlatHashMap<PageId, uint64_t, kInvalidPageId> global_last;
-  for (const ShardResult& shard : results) {
-    MergeShard(shard, live, global_last, out);
+  {
+    ScopedTimer timer(merge_ns);
+    for (const ShardResult& shard : results) {
+      MergeShard(shard, live, global_last, out);
+    }
   }
   return out;
 }

@@ -94,6 +94,7 @@ void StackDistanceKernel::Compact() {
   if (min_window * 2 > window_) {
     size_t want = min_window * 4;
     while (window_ < want) window_ *= 2;
+    ++window_resizes_;
   }
   live_.AssignPrefixOnes(distinct, window_);
   now_ = distinct;

@@ -96,6 +96,16 @@ class StackDistanceKernel {
   /// they mean to exercise the compaction path).
   uint64_t compactions() const { return compactions_; }
 
+  /// Compactions that also had to grow the timestamp window (the distinct
+  /// page count outpaced the initial sizing).
+  uint64_t window_resizes() const { return window_resizes_; }
+
+  /// Probe behavior of the last-access table (lookups / probes / grows);
+  /// probes/lookups near 1.0 means the Fibonacci hashing is doing its job.
+  FlatHashMap<PageId, uint64_t, kInvalidPageId>::Stats hash_stats() const {
+    return last_access_.stats();
+  }
+
  private:
   // Order-statistic structure over the compacted time axis, specialized
   // for the hot loop. Instead of a flat Fenwick tree with one node per
@@ -170,6 +180,7 @@ class StackDistanceKernel {
   FlatHashMap<PageId, uint64_t, kInvalidPageId> last_access_;
   StackDistanceHistogram histogram_;
   uint64_t compactions_ = 0;
+  uint64_t window_resizes_ = 0;
   // Scratch buffers reused across compactions.
   std::vector<uint64_t> sorted_positions_;
   std::vector<uint64_t> remap_;

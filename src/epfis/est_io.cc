@@ -3,22 +3,58 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/formulas.h"
 
 namespace epfis {
+namespace {
+
+// One registration per process; Est-IO runs at query-compilation time in
+// microseconds, so a handful of counter bumps is noise there but gives
+// operators the estimate volume and which formula paths actually fire.
+struct EstIoMetrics {
+  Counter estimates;
+  Counter full_scans;
+  Counter rejected;
+  Counter correction_applied;
+  Counter sargable_reductions;
+  Counter clamped;
+
+  static EstIoMetrics& Get() {
+    static EstIoMetrics* metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      auto* m = new EstIoMetrics();
+      m->estimates = registry.GetCounter("est_io.estimates");
+      m->full_scans = registry.GetCounter("est_io.full_scan_estimates");
+      m->rejected = registry.GetCounter("est_io.rejected");
+      m->correction_applied =
+          registry.GetCounter("est_io.correction_applied");
+      m->sargable_reductions =
+          registry.GetCounter("est_io.sargable_reductions");
+      m->clamped = registry.GetCounter("est_io.clamped_at_qualifying");
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 Result<double> EstIo::Estimate(const IndexStats& stats, const ScanSpec& scan,
                                const EstIoOptions& options) {
   // Written so NaN fails every check (NaN comparisons are false).
   if (!(scan.sigma >= 0.0 && scan.sigma <= 1.0)) {
+    EstIoMetrics::Get().rejected.Increment();
     return Status::InvalidArgument("Est-IO: sigma must be in [0, 1]");
   }
   if (!(scan.sargable_selectivity > 0.0 &&
         scan.sargable_selectivity <= 1.0)) {
+    EstIoMetrics::Get().rejected.Increment();
     return Status::InvalidArgument(
         "Est-IO: sargable_selectivity must be in (0, 1]");
   }
   if (scan.buffer_pages == 0) {
+    EstIoMetrics::Get().rejected.Increment();
     return Status::InvalidArgument("Est-IO: buffer_pages must be >= 1");
   }
   return EstimatePageFetches(stats, scan, options);
@@ -27,6 +63,7 @@ Result<double> EstIo::Estimate(const IndexStats& stats, const ScanSpec& scan,
 Result<double> EstIo::EstimateFullScan(const IndexStats& stats,
                                        uint64_t buffer_pages) {
   if (buffer_pages == 0) {
+    EstIoMetrics::Get().rejected.Increment();
     return Status::InvalidArgument("Est-IO: buffer_pages must be >= 1");
   }
   return EstimateFullScanFetches(stats, buffer_pages);
@@ -34,11 +71,15 @@ Result<double> EstIo::EstimateFullScan(const IndexStats& stats,
 
 double EstimateFullScanFetches(const IndexStats& stats,
                                uint64_t buffer_pages) {
+  EstIoMetrics::Get().full_scans.Increment();
   return stats.FullScanFetches(static_cast<double>(buffer_pages));
 }
 
 double EstimatePageFetches(const IndexStats& stats, const ScanSpec& scan,
                            const EstIoOptions& options) {
+  EstIoMetrics& metrics = EstIoMetrics::Get();
+  metrics.estimates.Increment();
+
   double sigma = Clamp(scan.sigma, 0.0, 1.0);
   double s_sarg = Clamp(scan.sargable_selectivity, 0.0, 1.0);
   if (sigma == 0.0 || s_sarg == 0.0) return 0.0;
@@ -54,19 +95,27 @@ double EstimatePageFetches(const IndexStats& stats, const ScanSpec& scan,
   // Step 5: linear scaling by the range selectivity.
   double estimate = sigma * pf_b;
 
-  // Step 6: heuristic correction for small sigma on unclustered indexes.
+  // Step 6 (§4.2): heuristic correction for small sigma on unclustered
+  // indexes, written in the paper's own shape so each factor is auditable:
+  //
+  //   correction = nu * min(1, phi / (6 sigma)) * (1 - C) * NCP(T, sigma N)
+  //   nu         = 1  iff  phi >= 3 sigma,  else 0
+  //
+  // The gate and the damping must share the same phi (and the same
+  // thresholds scale together through the options): nu decides *whether*
+  // the Cardenas term applies, the min(1, .) factor only ramps it in as
+  // sigma shrinks. sigma > 0 here (zero returned early), so the divisions
+  // are well-defined.
   if (options.enable_correction && t > 0.0) {
     double ratio = b / t;
     double phi = options.phi_mode == PhiMode::kPaperMax
                      ? std::max(1.0, ratio)
                      : std::min(1.0, ratio);
     double nu = (phi >= options.nu_threshold * sigma) ? 1.0 : 0.0;
-    if (nu > 0.0) {
-      double damping =
-          std::min(1.0, phi / (options.correction_divisor * sigma));
-      double cardenas = CardenasPages(t, sigma * n);
-      estimate += damping * (1.0 - c) * cardenas;
-    }
+    double damping =
+        std::min(1.0, phi / (options.correction_divisor * sigma));
+    estimate += nu * damping * (1.0 - c) * CardenasPages(t, sigma * n);
+    if (nu == 1.0) metrics.correction_applied.Increment();
   }
 
   // Step 7: urn-model reduction for index-sargable predicates. The paper's
@@ -81,11 +130,13 @@ double EstimatePageFetches(const IndexStats& stats, const ScanSpec& scan,
       double log_miss = std::log1p(-1.0 / q);
       double factor = -std::expm1(k * log_miss);  // 1 - (1 - 1/Q)^k
       estimate *= Clamp(factor, 0.0, 1.0);
+      metrics.sargable_reductions.Increment();
     }
   }
 
   // A scan fetches a page at most once per qualifying record.
   double qualifying = s_sarg * sigma * n;
+  if (estimate > qualifying) metrics.clamped.Increment();
   return Clamp(estimate, 0.0, qualifying);
 }
 

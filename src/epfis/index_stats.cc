@@ -6,9 +6,17 @@ namespace epfis {
 
 double IndexStats::FullScanFetches(double buffer_size) const {
   if (!fpf.has_value()) return 0.0;
-  double pf = fpf->Eval(buffer_size);
+  // The segments are a fit of measured F(B) samples and carry no
+  // information outside the simulated knot range; extrapolating a steep
+  // first or last segment can leave [A, N] entirely (below the first knot
+  // it can even go negative before the value clamp catches it, and the
+  // [A, N] clamp alone still breaks monotonicity in B). F(B) is
+  // non-increasing, so the nearest boundary value is the tightest
+  // defensible answer for an out-of-range query.
+  double b = std::clamp(buffer_size, fpf->min_x(), fpf->max_x());
+  double pf = fpf->Eval(b);
   // A full scan fetches at least every accessed page once and never more
-  // than once per index entry; extrapolated segments must respect that.
+  // than once per index entry; the fit must respect that too.
   double lo = static_cast<double>(pages_accessed);
   double hi = static_cast<double>(table_records);
   if (hi < lo) hi = lo;

@@ -32,8 +32,10 @@ struct IndexStats {
   std::optional<PiecewiseLinear> fpf;
 
   /// Full-scan page-fetch estimate at buffer size `b` (PF_B in the paper):
-  /// segment interpolation inside [b_min, b_max], linear extrapolation
-  /// outside, clamped to the physical bounds [A, N].
+  /// segment interpolation inside the fitted knot range; queries outside
+  /// it are clamped to the nearest knot (never extrapolated — a steep end
+  /// segment could otherwise leave [A, N] or break monotonicity in B).
+  /// The result is additionally clamped to the physical bounds [A, N].
   double FullScanFetches(double buffer_size) const;
 };
 

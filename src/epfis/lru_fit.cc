@@ -7,6 +7,7 @@
 
 #include "buffer/parallel_stack_distance.h"
 #include "catalog/stats_catalog.h"
+#include "obs/metrics.h"
 #include "util/formulas.h"
 #include "util/thread_pool.h"
 
@@ -95,6 +96,13 @@ Result<std::vector<FpfPoint>> SampleFpfCurve(const std::vector<PageId>& trace,
 Result<IndexStats> RunLruFit(TraceSource& trace, uint64_t table_pages,
                              uint64_t distinct_keys, std::string index_name,
                              const LruFitOptions& options) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter runs_counter = registry.GetCounter("lru_fit.runs");
+  static Counter refs_counter = registry.GetCounter("lru_fit.refs");
+  static LatencyHistogram simulate_ns =
+      registry.GetHistogram("lru_fit.simulate_ns");
+  static LatencyHistogram fit_ns = registry.GetHistogram("lru_fit.fit_ns");
+
   EPFIS_RETURN_IF_ERROR(options.Validate());
   EPFIS_ASSIGN_OR_RETURN(ModelRange range,
                          DetermineRange(table_pages, options));
@@ -104,9 +112,15 @@ Result<IndexStats> RunLruFit(TraceSource& trace, uint64_t table_pages,
   EPFIS_ASSIGN_OR_RETURN(std::vector<uint64_t> sizes,
                          MakeBufferSchedule(range.b_min, range.b_max,
                                             options.schedule));
-  EPFIS_ASSIGN_OR_RETURN(
-      StackDistanceHistogram histogram,
-      SimulateTrace(trace, options.pool, options.num_shards));
+  StackDistanceHistogram histogram;
+  {
+    ScopedTimer timer(simulate_ns);
+    EPFIS_ASSIGN_OR_RETURN(
+        histogram, SimulateTrace(trace, options.pool, options.num_shards));
+  }
+  runs_counter.Increment();
+  refs_counter.Increment(histogram.accesses());
+  ScopedTimer fit_timer(fit_ns);
 
   IndexStats stats;
   stats.index_name = std::move(index_name);
@@ -159,6 +173,16 @@ Result<IndexStats> RunLruFit(const std::vector<PageId>& trace,
 
 LruFitBatchResult RunLruFitBatch(std::vector<LruFitJob> jobs,
                                  ThreadPool& pool, StatsCatalog* catalog) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter batch_runs = registry.GetCounter("lru_fit.batch_runs");
+  static Counter jobs_ok = registry.GetCounter("lru_fit.batch_jobs_ok");
+  static Counter jobs_failed =
+      registry.GetCounter("lru_fit.batch_jobs_failed");
+  static LatencyHistogram batch_ns =
+      registry.GetHistogram("lru_fit.batch_ns");
+  batch_runs.Increment();
+  ScopedTimer timer(batch_ns);
+
   LruFitBatchResult batch;
   batch.statuses.resize(jobs.size());
   std::vector<std::future<Status>> futures;
@@ -181,6 +205,8 @@ LruFitBatchResult RunLruFitBatch(std::vector<LruFitJob> jobs,
     batch.statuses[i] = futures[i].get();
     if (batch.statuses[i].ok()) ++batch.num_ok;
   }
+  jobs_ok.Increment(batch.num_ok);
+  jobs_failed.Increment(batch.statuses.size() - batch.num_ok);
   return batch;
 }
 

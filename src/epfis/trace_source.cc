@@ -4,6 +4,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define EPFIS_HAS_MMAP 1
 #include <fcntl.h>
@@ -25,6 +27,9 @@ Result<size_t> VectorTraceSource::Next(PageId* buffer, size_t capacity) {
 
 Result<FileTraceSource> FileTraceSource::Open(const std::string& path) {
   EPFIS_ASSIGN_OR_RETURN(PageTraceReader reader, PageTraceReader::Open(path));
+  static Counter file_opens =
+      MetricsRegistry::Global().GetCounter("trace.file_opens");
+  file_opens.Increment();
   return FileTraceSource(std::move(reader));
 }
 
@@ -52,8 +57,20 @@ Result<MmapTraceSource> MmapTraceSource::Open(const std::string& path) {
   }
   size_t file_size = static_cast<size_t>(st.st_size);
   if (file_size < kPageTraceHeaderSize) {
+    // Never reaches mmap: mapping 0 bytes is EINVAL on Linux (and UB to
+    // dereference anywhere), and a sub-header file has nothing valid to
+    // map anyway. Mirror the streaming reader's taxonomy exactly: a file
+    // too short to hold the 8 magic bytes (or holding the wrong ones) is
+    // "bad magic"; a good magic with a truncated count is "truncated
+    // header".
+    char magic[8];
+    bool magic_ok = file_size >= sizeof(magic) &&
+                    ::pread(fd, magic, sizeof(magic), 0) ==
+                        static_cast<ssize_t>(sizeof(magic)) &&
+                    std::memcmp(magic, kPageTraceMagic, 8) == 0;
     ::close(fd);
-    return Status::Corruption("trace file: bad magic");
+    return magic_ok ? Status::Corruption("trace file: truncated header")
+                    : Status::Corruption("trace file: bad magic");
   }
   void* map = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);  // The mapping keeps the file alive.
@@ -80,6 +97,11 @@ Result<MmapTraceSource> MmapTraceSource::Open(const std::string& path) {
   // page-aligned mapping.
   const PageId* entries =
       reinterpret_cast<const PageId*>(bytes + kPageTraceHeaderSize);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter mmap_opens = registry.GetCounter("trace.mmap_opens");
+  static Counter mmap_bytes = registry.GetCounter("trace.mmap_bytes_mapped");
+  mmap_opens.Increment();
+  mmap_bytes.Increment(file_size);
   return MmapTraceSource(map, file_size, entries, count);
 }
 
@@ -130,10 +152,24 @@ Result<size_t> MmapTraceSource::Next(PageId* buffer, size_t capacity) {
 }
 
 Result<std::unique_ptr<TraceSource>> OpenTraceSource(const std::string& path) {
+  static Counter fallbacks =
+      MetricsRegistry::Global().GetCounter("trace.mmap_fallbacks");
   if (MmapTraceSource::Supported()) {
-    EPFIS_ASSIGN_OR_RETURN(MmapTraceSource source, MmapTraceSource::Open(path));
-    return std::unique_ptr<TraceSource>(
-        new MmapTraceSource(std::move(source)));
+    Result<MmapTraceSource> source = MmapTraceSource::Open(path);
+    if (source.ok()) {
+      return std::unique_ptr<TraceSource>(
+          new MmapTraceSource(std::move(*source)));
+    }
+    // Corruption is a property of the file, not the access path — both
+    // readers would reject it, so propagate rather than paper over it.
+    // An I/O-level mmap failure (e.g. a filesystem that cannot back
+    // MAP_PRIVATE) may still stream fine, so fall through.
+    if (source.status().code() != StatusCode::kIoError) {
+      return source.status();
+    }
+    fallbacks.Increment();
+  } else {
+    fallbacks.Increment();
   }
   EPFIS_ASSIGN_OR_RETURN(FileTraceSource source, FileTraceSource::Open(path));
   return std::unique_ptr<TraceSource>(new FileTraceSource(std::move(source)));

@@ -111,6 +111,9 @@ class FileTraceSource final : public TraceSource {
 /// Status taxonomy — Corruption for bad magic, a truncated header or body,
 /// or trailing bytes — except the body errors surface eagerly at Open
 /// (the file length already betrays them) rather than during Read.
+/// Zero-length and sub-header files are rejected before mmap is ever
+/// attempted (mapping 0 bytes is EINVAL), with the identical Status the
+/// streaming reader would produce for the same file.
 ///
 /// On platforms without mmap, Open fails with FailedPrecondition (see
 /// Supported()); OpenTraceSource below falls back to FileTraceSource.
@@ -151,7 +154,8 @@ class MmapTraceSource final : public TraceSource {
 /// Opens the fastest available TraceSource for a SavePageTrace file:
 /// MmapTraceSource where mmap exists, FileTraceSource otherwise. Format
 /// errors propagate (no silent fallback on a corrupt file — both readers
-/// reject it with the same taxonomy).
+/// reject it with the same taxonomy); I/O-level mmap failures fall back
+/// to the streaming reader and bump the trace.mmap_fallbacks counter.
 Result<std::unique_ptr<TraceSource>> OpenTraceSource(const std::string& path);
 
 }  // namespace epfis

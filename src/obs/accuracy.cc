@@ -1,0 +1,174 @@
+#include "obs/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace epfis {
+namespace {
+
+template <size_t N>
+size_t EdgeBucket(const std::array<double, N>& edges, double value) {
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (value <= edges[i]) return i;
+  }
+  return edges.size() - 1;  // Out-of-range values land in the last bucket.
+}
+
+template <size_t N>
+double EdgeLowerBound(const std::array<double, N>& edges, size_t bucket) {
+  return bucket == 0 ? 0.0 : edges[bucket - 1];
+}
+
+void EmitErrorHistogram(
+    std::ostringstream& out,
+    const std::array<uint64_t, AccuracyTracker::kErrorBuckets>& hist) {
+  out << '[';
+  for (size_t i = 0; i < hist.size(); ++i) {
+    if (i > 0) out << ',';
+    out << hist[i];
+  }
+  out << ']';
+}
+
+}  // namespace
+
+AccuracyTracker::AccuracyTracker()
+    : buckets_(kSigmaEdges.size() * kBufferEdges.size() *
+               kClusteringEdges.size()) {}
+
+size_t AccuracyTracker::BucketIndex(double sigma, double buffer_fraction,
+                                    double clustering) {
+  size_t s = EdgeBucket(kSigmaEdges, sigma);
+  size_t b = EdgeBucket(kBufferEdges, buffer_fraction);
+  size_t c = EdgeBucket(kClusteringEdges, clustering);
+  return (s * kBufferEdges.size() + b) * kClusteringEdges.size() + c;
+}
+
+void AccuracyTracker::Record(double sigma, double buffer_fraction,
+                             double clustering, double estimate,
+                             double actual) {
+  double error = (estimate - actual) / std::max(actual, 1.0);
+  double magnitude = std::abs(error);
+  size_t err_bucket = EdgeBucket(kErrorEdges, magnitude);
+  if (magnitude > kErrorEdges.back()) err_bucket = kErrorBuckets - 1;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (BucketStats* stats :
+       {&buckets_[BucketIndex(sigma, buffer_fraction, clustering)],
+        &total_}) {
+    ++stats->count;
+    stats->sum_signed += error;
+    stats->sum_abs += magnitude;
+    stats->max_abs = std::max(stats->max_abs, magnitude);
+    (error >= 0.0 ? stats->over : stats->under)[err_bucket] += 1;
+  }
+}
+
+uint64_t AccuracyTracker::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_.count;
+}
+
+double AccuracyTracker::MeanSignedRelativeError() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_.MeanSigned();
+}
+
+double AccuracyTracker::MeanAbsRelativeError() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_.MeanAbs();
+}
+
+double AccuracyTracker::MaxAbsRelativeError() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_.max_abs;
+}
+
+void AccuracyTracker::ForEachBucket(
+    const std::function<void(const BucketView&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t s = 0; s < kSigmaEdges.size(); ++s) {
+    for (size_t b = 0; b < kBufferEdges.size(); ++b) {
+      for (size_t c = 0; c < kClusteringEdges.size(); ++c) {
+        const BucketStats& stats =
+            buckets_[(s * kBufferEdges.size() + b) * kClusteringEdges.size() +
+                     c];
+        if (stats.count == 0) continue;
+        BucketView view;
+        view.sigma_lo = EdgeLowerBound(kSigmaEdges, s);
+        view.sigma_hi = kSigmaEdges[s];
+        view.buffer_lo = EdgeLowerBound(kBufferEdges, b);
+        view.buffer_hi = kBufferEdges[b];
+        view.clustering_lo = EdgeLowerBound(kClusteringEdges, c);
+        view.clustering_hi = kClusteringEdges[c];
+        view.stats = &stats;
+        fn(view);
+      }
+    }
+  }
+}
+
+std::string AccuracyTracker::ToText() const {
+  // Per-sigma-band aggregation outside the lock (ForEachBucket locks).
+  std::array<BucketStats, kSigmaEdges.size()> bands{};
+  ForEachBucket([&bands](const BucketView& view) {
+    size_t s = EdgeBucket(kSigmaEdges, view.sigma_hi);
+    BucketStats& band = bands[s];
+    band.count += view.stats->count;
+    band.sum_signed += view.stats->sum_signed;
+    band.sum_abs += view.stats->sum_abs;
+    band.max_abs = std::max(band.max_abs, view.stats->max_abs);
+  });
+  std::ostringstream out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "accuracy: samples=" << total_.count
+      << " mean_signed=" << total_.MeanSigned()
+      << " mean_abs=" << total_.MeanAbs() << " max_abs=" << total_.max_abs
+      << '\n';
+  for (size_t s = 0; s < bands.size(); ++s) {
+    if (bands[s].count == 0) continue;
+    out << "  sigma<=" << kSigmaEdges[s] << ": samples=" << bands[s].count
+        << " mean_signed=" << bands[s].MeanSigned()
+        << " mean_abs=" << bands[s].MeanAbs()
+        << " max_abs=" << bands[s].max_abs << '\n';
+  }
+  return out.str();
+}
+
+std::string AccuracyTracker::ToJson() const {
+  std::ostringstream out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out << "{\"samples\":" << total_.count
+        << ",\"mean_signed_rel_error\":" << total_.MeanSigned()
+        << ",\"mean_abs_rel_error\":" << total_.MeanAbs()
+        << ",\"max_abs_rel_error\":" << total_.max_abs
+        << ",\"error_edges\":[";
+    for (size_t i = 0; i < kErrorEdges.size(); ++i) {
+      if (i > 0) out << ',';
+      out << kErrorEdges[i];
+    }
+    out << "],\"buckets\":[";
+  }
+  bool first = true;
+  ForEachBucket([&out, &first](const BucketView& view) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"sigma\":[" << view.sigma_lo << ',' << view.sigma_hi
+        << "],\"buffer_frac\":[" << view.buffer_lo << ',' << view.buffer_hi
+        << "],\"clustering\":[" << view.clustering_lo << ','
+        << view.clustering_hi << "],\"count\":" << view.stats->count
+        << ",\"mean_signed\":" << view.stats->MeanSigned()
+        << ",\"mean_abs\":" << view.stats->MeanAbs()
+        << ",\"max_abs\":" << view.stats->max_abs << ",\"over\":";
+    EmitErrorHistogram(out, view.stats->over);
+    out << ",\"under\":";
+    EmitErrorHistogram(out, view.stats->under);
+    out << '}';
+  });
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace epfis

@@ -1,0 +1,104 @@
+#ifndef EPFIS_OBS_ACCURACY_H_
+#define EPFIS_OBS_ACCURACY_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace epfis {
+
+/// Estimator-accuracy telemetry, the runtime form of the paper's §5 error
+/// methodology (Figures 4-7 plot estimator error against ground truth per
+/// selectivity and buffer size): every sample is one (estimate, actual)
+/// pair from a replayed scan, recorded as a signed relative error and
+/// aggregated per (sigma, B/T, C) bucket with per-bucket over/under log
+/// histograms of the error magnitude.
+///
+/// The relative error is (estimate - actual) / max(actual, 1): positive
+/// means the estimator over-predicted fetches. The max(., 1) floor keeps
+/// tiny scans (actual of a few pages) from exploding the metric, matching
+/// how the paper's aggregate metric guards small denominators.
+///
+/// Thread-safe; Record takes a mutex (accuracy replay is offline work, not
+/// the estimator hot path, so a lock is the simple correct choice).
+class AccuracyTracker {
+ public:
+  /// Upper edges of the error-magnitude histogram buckets; the implicit
+  /// last bucket catches everything larger.
+  static constexpr std::array<double, 7> kErrorEdges = {
+      0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0};
+  static constexpr size_t kErrorBuckets = kErrorEdges.size() + 1;
+
+  /// Upper edges of the condition buckets (last edge is inclusive of
+  /// everything above it, so out-of-range inputs land in the last bucket).
+  static constexpr std::array<double, 6> kSigmaEdges = {0.01, 0.05, 0.1,
+                                                        0.25, 0.5,  1.0};
+  static constexpr std::array<double, 6> kBufferEdges = {0.05, 0.1, 0.25,
+                                                         0.5,  0.75, 1.0};
+  static constexpr std::array<double, 4> kClusteringEdges = {0.25, 0.5,
+                                                             0.75, 1.0};
+
+  struct BucketStats {
+    uint64_t count = 0;
+    double sum_signed = 0.0;
+    double sum_abs = 0.0;
+    double max_abs = 0.0;
+    /// Error-magnitude histograms, split by sign (over-estimates vs
+    /// under-estimates; exact hits count as "over" with magnitude 0).
+    std::array<uint64_t, kErrorBuckets> over{};
+    std::array<uint64_t, kErrorBuckets> under{};
+
+    double MeanSigned() const {
+      return count == 0 ? 0.0 : sum_signed / static_cast<double>(count);
+    }
+    double MeanAbs() const {
+      return count == 0 ? 0.0 : sum_abs / static_cast<double>(count);
+    }
+  };
+
+  /// View of one non-empty bucket with its condition ranges, for
+  /// ForEachBucket. Lower bounds are the previous edge (0 for the first).
+  struct BucketView {
+    double sigma_lo, sigma_hi;
+    double buffer_lo, buffer_hi;
+    double clustering_lo, clustering_hi;
+    const BucketStats* stats;
+  };
+
+  AccuracyTracker();
+
+  /// Records one comparison: the scan's range selectivity, the buffer
+  /// fraction B/T, the index's clustering factor C, the estimator's
+  /// prediction, and the ground-truth fetch count.
+  void Record(double sigma, double buffer_fraction, double clustering,
+              double estimate, double actual);
+
+  uint64_t samples() const;
+  double MeanSignedRelativeError() const;
+  double MeanAbsRelativeError() const;
+  double MaxAbsRelativeError() const;
+
+  /// Invokes `fn` for every bucket with at least one sample.
+  void ForEachBucket(const std::function<void(const BucketView&)>& fn) const;
+
+  /// One summary line plus one line per non-empty sigma band.
+  std::string ToText() const;
+  /// Full dump: totals, edges, and every non-empty bucket with its
+  /// over/under histograms — the CI error-histogram artifact.
+  std::string ToJson() const;
+
+ private:
+  static size_t BucketIndex(double sigma, double buffer_fraction,
+                            double clustering);
+
+  mutable std::mutex mu_;
+  std::vector<BucketStats> buckets_;
+  BucketStats total_;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_OBS_ACCURACY_H_

@@ -6,6 +6,12 @@
 #include <utility>
 #include <vector>
 
+// Mirrors the build-wide gate from obs/metrics.h without depending on it:
+// this header sits below the obs layer.
+#ifndef EPFIS_METRICS_ENABLED
+#define EPFIS_METRICS_ENABLED 1
+#endif
+
 namespace epfis {
 
 /// Open-addressing hash map tuned for the Mattson stack-distance hot loop:
@@ -29,16 +35,37 @@ class FlatHashMap {
   size_t size() const { return size_; }
   size_t capacity() const { return slots_.size(); }
 
+  /// Probe-behavior instrumentation. Counts are plain members bumped in
+  /// the lookup loops (no atomics: a map has one owner); with the metrics
+  /// layer compiled out the increments vanish and stats() reads zeros.
+  struct Stats {
+    uint64_t lookups = 0;  ///< Find / TryEmplace calls.
+    uint64_t probes = 0;   ///< Slots inspected across all lookups.
+    uint64_t grows = 0;    ///< Load-triggered rehashes (initial build not counted).
+  };
+  Stats stats() const { return stats_; }
+
   /// Ensures `n` entries fit without another rehash.
   void Reserve(size_t n) {
     size_t want = CapacityFor(n);
-    if (want > slots_.size()) Rebuild(want);
+    if (want > slots_.size()) {
+      Rebuild(want);
+#if EPFIS_METRICS_ENABLED
+      ++stats_.grows;
+#endif
+    }
   }
 
   /// Pointer to the value for `key`, or nullptr if absent.
   Value* Find(Key key) {
     size_t i = IndexFor(key);
+#if EPFIS_METRICS_ENABLED
+    ++stats_.lookups;
+#endif
     for (;;) {
+#if EPFIS_METRICS_ENABLED
+      ++stats_.probes;
+#endif
       Slot& slot = slots_[i];
       if (slot.key == key) return &slot.value;
       if (slot.key == kEmptyKey) return nullptr;
@@ -53,9 +80,20 @@ class FlatHashMap {
   /// pointer and whether an insert happened (the existing value is left
   /// untouched on a hit, like std::unordered_map::try_emplace).
   std::pair<Value*, bool> TryEmplace(Key key, Value value) {
-    if ((size_ + 1) * 10 > slots_.size() * 7) Rebuild(slots_.size() * 2);
+    if ((size_ + 1) * 10 > slots_.size() * 7) {
+      Rebuild(slots_.size() * 2);
+#if EPFIS_METRICS_ENABLED
+      ++stats_.grows;
+#endif
+    }
     size_t i = IndexFor(key);
+#if EPFIS_METRICS_ENABLED
+    ++stats_.lookups;
+#endif
     for (;;) {
+#if EPFIS_METRICS_ENABLED
+      ++stats_.probes;
+#endif
       Slot& slot = slots_[i];
       if (slot.key == key) return {&slot.value, false};
       if (slot.key == kEmptyKey) {
@@ -131,6 +169,7 @@ class FlatHashMap {
   size_t size_ = 0;
   size_t mask_ = 0;
   unsigned shift_ = 64;
+  Stats stats_;
 };
 
 }  // namespace epfis

@@ -179,6 +179,48 @@ TEST(MmapTraceSourceTest, TruncatedHeaderIsCorruptionInBothReaders) {
   EXPECT_EQ(StreamingVerdict(file.path()).code(), StatusCode::kCorruption);
 }
 
+// Regression: a zero-length file used to reach mmap itself, and mapping 0
+// bytes is EINVAL on Linux — the old code surfaced that as an IoError (or
+// worse on platforms where mmap(0) "succeeds" with an unusable mapping).
+// Sub-header files must be rejected before mmap with the same Status the
+// streaming reader produces, message and code alike.
+TEST(MmapTraceSourceTest, ZeroLengthFileIsBadMagicInBothReaders) {
+  TempTraceFile file("zero");
+  file.WriteRaw("");
+  Status mmap_status = MmapVerdict(file.path());
+  Status stream_status = StreamingVerdict(file.path());
+  EXPECT_EQ(mmap_status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(stream_status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(mmap_status.ToString(), stream_status.ToString());
+}
+
+TEST(MmapTraceSourceTest, GoodMagicTruncatedCountInBothReaders) {
+  // 8 valid magic bytes followed by only half of the u64 count: both
+  // readers must call this a truncated header, not bad magic.
+  TempTraceFile file("partial_count");
+  std::string bytes(kPageTraceMagic, 8);
+  bytes.append(4, '\0');
+  file.WriteRaw(bytes);
+  Status mmap_status = MmapVerdict(file.path());
+  Status stream_status = StreamingVerdict(file.path());
+  EXPECT_EQ(mmap_status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(stream_status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(mmap_status.ToString(), stream_status.ToString());
+  EXPECT_NE(mmap_status.ToString().find("truncated header"),
+            std::string::npos)
+      << mmap_status.ToString();
+}
+
+TEST(MmapTraceSourceTest, HeaderOnlyFileIsAValidEmptyTrace) {
+  // Exactly the 16 header bytes with count = 0: the smallest valid file.
+  TempTraceFile file("header_only");
+  std::string bytes(kPageTraceMagic, 8);
+  bytes.append(8, '\0');
+  file.WriteRaw(bytes);
+  EXPECT_TRUE(MmapVerdict(file.path()).ok());
+  EXPECT_TRUE(StreamingVerdict(file.path()).ok());
+}
+
 TEST(OpenTraceSourceTest, PicksAWorkingSourceAndPropagatesCorruption) {
   TempTraceFile file("factory");
   std::vector<PageId> trace{4, 5, 6, 4};
@@ -194,6 +236,13 @@ TEST(OpenTraceSourceTest, PicksAWorkingSourceAndPropagatesCorruption) {
   EXPECT_EQ(buf[3], 4u);
 
   file.AppendRaw("z");
+  EXPECT_EQ(OpenTraceSource(file.path()).status().code(),
+            StatusCode::kCorruption);
+
+  // A zero-length file is a format error, not an mmap I/O failure: the
+  // factory must report Corruption rather than crash or silently fall
+  // back to a reader that fails later.
+  file.WriteRaw("");
   EXPECT_EQ(OpenTraceSource(file.path()).status().code(),
             StatusCode::kCorruption);
 }

@@ -1,0 +1,119 @@
+// End-to-end tests of the estimator-accuracy replay harness: it must
+// validate its config, produce ground-truthed comparisons for every
+// configured (dataset, scan, buffer) combination, agree with the paper's
+// clustering expectations for the extreme placement windows, and publish
+// its progress into the global metrics registry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "harness/accuracy.h"
+#include "obs/accuracy.h"
+#include "obs/metrics.h"
+
+namespace epfis {
+namespace {
+
+AccuracyHarnessConfig SmallConfig() {
+  AccuracyHarnessConfig config;
+  config.num_records = 20'000;
+  config.num_distinct = 500;
+  config.records_per_page = 40;
+  config.window_fractions = {0.0, 1.0};
+  config.scans_per_dataset = 20;
+  config.buffer_fractions = {0.1, 0.5};
+  config.seed = 7;
+  return config;
+}
+
+TEST(AccuracyHarnessTest, RejectsBadConfigs) {
+  AccuracyTracker tracker;
+  AccuracyHarnessConfig config = SmallConfig();
+  EXPECT_EQ(RunAccuracyHarness(config, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+  config.window_fractions.clear();
+  EXPECT_EQ(RunAccuracyHarness(config, &tracker).status().code(),
+            StatusCode::kInvalidArgument);
+  config = SmallConfig();
+  config.scans_per_dataset = 0;
+  EXPECT_EQ(RunAccuracyHarness(config, &tracker).status().code(),
+            StatusCode::kInvalidArgument);
+  config = SmallConfig();
+  config.num_records = 0;
+  EXPECT_EQ(RunAccuracyHarness(config, &tracker).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AccuracyHarnessTest, ReplaysEveryConfiguredCombination) {
+  AccuracyTracker tracker;
+  AccuracyHarnessConfig config = SmallConfig();
+  auto report = RunAccuracyHarness(config, &tracker);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  ASSERT_EQ(report->datasets.size(), 2u);
+  EXPECT_EQ(report->scans_evaluated, 2u * 20u);
+  // Two buffer fractions, far enough apart that dedup keeps both.
+  EXPECT_EQ(report->estimates_evaluated, 2u * 20u * 2u);
+  EXPECT_EQ(tracker.samples(), report->estimates_evaluated);
+
+  for (const auto& dataset : report->datasets) {
+    EXPECT_GT(dataset.table_pages, 0u);
+    EXPECT_EQ(dataset.records, config.num_records);
+    EXPECT_GE(dataset.clustering, 0.0);
+    EXPECT_LE(dataset.clustering, 1.0);
+  }
+  // K = 0 is perfectly clustered placement, K = 1 is random: the measured
+  // clustering factors must sit near the opposite ends of [0, 1].
+  EXPECT_GT(report->datasets[0].clustering, 0.8);
+  EXPECT_LT(report->datasets[1].clustering, 0.2);
+
+  // The errors themselves must be finite and sane: the estimator is the
+  // paper's, so on its own synthetic protocol the mean relative error
+  // should be well under 100%.
+  EXPECT_TRUE(std::isfinite(tracker.MeanAbsRelativeError()));
+  EXPECT_LT(tracker.MeanAbsRelativeError(), 1.0);
+}
+
+TEST(AccuracyHarnessTest, DeterministicForAFixedSeed) {
+  AccuracyHarnessConfig config = SmallConfig();
+  config.scans_per_dataset = 5;
+  AccuracyTracker first;
+  AccuracyTracker second;
+  ASSERT_TRUE(RunAccuracyHarness(config, &first).ok());
+  ASSERT_TRUE(RunAccuracyHarness(config, &second).ok());
+  EXPECT_EQ(first.samples(), second.samples());
+  EXPECT_DOUBLE_EQ(first.MeanSignedRelativeError(),
+                   second.MeanSignedRelativeError());
+  EXPECT_DOUBLE_EQ(first.MaxAbsRelativeError(),
+                   second.MaxAbsRelativeError());
+  EXPECT_EQ(first.ToJson(), second.ToJson());
+}
+
+TEST(AccuracyHarnessTest, PublishesProgressMetrics) {
+#if EPFIS_METRICS_ENABLED
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  AccuracyTracker tracker;
+  AccuracyHarnessConfig config = SmallConfig();
+  config.scans_per_dataset = 4;
+  auto report = RunAccuracyHarness(config, &tracker);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+
+  auto delta = [&before, &after](const std::string& name) {
+    uint64_t was = before.counters.count(name) ? before.counters.at(name) : 0;
+    return after.counters.at(name) - was;
+  };
+  EXPECT_EQ(delta("accuracy.datasets"), 2u);
+  EXPECT_EQ(delta("accuracy.scans"), report->scans_evaluated);
+  EXPECT_EQ(delta("accuracy.estimates"), report->estimates_evaluated);
+  EXPECT_GT(after.histograms.at("accuracy.lru_fit_ns").count, 0u);
+  EXPECT_GT(after.histograms.at("accuracy.replay_ns").count, 0u);
+#else
+  GTEST_SKIP() << "metrics compiled out";
+#endif
+}
+
+}  // namespace
+}  // namespace epfis

@@ -1,0 +1,122 @@
+// Unit tests for AccuracyTracker: relative-error math (including the
+// small-denominator floor), sign-split magnitude histograms, condition
+// bucketing, and the text/JSON exporters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/accuracy.h"
+
+namespace epfis {
+namespace {
+
+TEST(AccuracyTrackerTest, EmptyTrackerReportsZeros) {
+  AccuracyTracker tracker;
+  EXPECT_EQ(tracker.samples(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.MeanSignedRelativeError(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.MeanAbsRelativeError(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.MaxAbsRelativeError(), 0.0);
+  int buckets = 0;
+  tracker.ForEachBucket([&buckets](const AccuracyTracker::BucketView&) {
+    ++buckets;
+  });
+  EXPECT_EQ(buckets, 0);
+}
+
+TEST(AccuracyTrackerTest, RelativeErrorIsSignedAndAveraged) {
+  AccuracyTracker tracker;
+  // +10% over-estimate and -10% under-estimate on the same conditions.
+  tracker.Record(0.5, 0.5, 0.5, /*estimate=*/110.0, /*actual=*/100.0);
+  tracker.Record(0.5, 0.5, 0.5, /*estimate=*/90.0, /*actual=*/100.0);
+  EXPECT_EQ(tracker.samples(), 2u);
+  EXPECT_NEAR(tracker.MeanSignedRelativeError(), 0.0, 1e-12);
+  EXPECT_NEAR(tracker.MeanAbsRelativeError(), 0.1, 1e-12);
+  EXPECT_NEAR(tracker.MaxAbsRelativeError(), 0.1, 1e-12);
+}
+
+TEST(AccuracyTrackerTest, SmallActualsUseTheUnitFloor) {
+  AccuracyTracker tracker;
+  // actual = 0 would divide by zero without the max(actual, 1) floor; the
+  // error must come out as estimate / 1, not infinity.
+  tracker.Record(0.01, 0.1, 0.9, /*estimate=*/0.5, /*actual=*/0.0);
+  EXPECT_NEAR(tracker.MeanSignedRelativeError(), 0.5, 1e-12);
+  tracker.Record(0.01, 0.1, 0.9, /*estimate=*/0.0, /*actual=*/0.25);
+  EXPECT_NEAR(tracker.MaxAbsRelativeError(), 0.5, 1e-12);
+  EXPECT_TRUE(std::isfinite(tracker.MeanAbsRelativeError()));
+}
+
+TEST(AccuracyTrackerTest, SignSplitHistogramsCountOverAndUnder) {
+  AccuracyTracker tracker;
+  tracker.Record(0.5, 0.5, 0.5, 104.0, 100.0);  // +4%  -> over bucket 2
+  tracker.Record(0.5, 0.5, 0.5, 85.0, 100.0);   // -15% -> under bucket 4
+  tracker.Record(0.5, 0.5, 0.5, 100.0, 100.0);  // exact -> over bucket 0
+  tracker.Record(0.5, 0.5, 0.5, 400.0, 100.0);  // +300% -> over overflow
+
+  int visited = 0;
+  tracker.ForEachBucket([&visited](const AccuracyTracker::BucketView& view) {
+    ++visited;
+    EXPECT_EQ(view.stats->count, 4u);
+    // kErrorEdges = {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0} + overflow.
+    EXPECT_EQ(view.stats->over[0], 1u);  // exact hit, magnitude 0 <= 0.01
+    EXPECT_EQ(view.stats->over[2], 1u);  // 0.04 <= 0.05
+    EXPECT_EQ(view.stats->under[4], 1u);  // 0.15 <= 0.2
+    EXPECT_EQ(
+        view.stats->over[AccuracyTracker::kErrorBuckets - 1], 1u);  // 3.0
+  });
+  EXPECT_EQ(visited, 1);  // All four records share one condition bucket.
+}
+
+TEST(AccuracyTrackerTest, ConditionBucketsSeparateSigmaBufferClustering) {
+  AccuracyTracker tracker;
+  tracker.Record(0.005, 0.04, 0.1, 10.0, 10.0);  // first bucket each axis
+  tracker.Record(0.9, 0.9, 0.9, 10.0, 10.0);     // last-ish bucket each axis
+  tracker.Record(5.0, 5.0, 5.0, 10.0, 10.0);     // out of range -> clamped
+
+  std::vector<AccuracyTracker::BucketView> views;
+  tracker.ForEachBucket([&views](const AccuracyTracker::BucketView& view) {
+    views.push_back(view);
+  });
+  ASSERT_EQ(views.size(), 2u);
+  // Views arrive in sigma-major order: the small-everything bucket first.
+  EXPECT_DOUBLE_EQ(views[0].sigma_lo, 0.0);
+  EXPECT_DOUBLE_EQ(views[0].sigma_hi, 0.01);
+  EXPECT_DOUBLE_EQ(views[0].buffer_hi, 0.05);
+  EXPECT_DOUBLE_EQ(views[0].clustering_hi, 0.25);
+  EXPECT_EQ(views[0].stats->count, 1u);
+  // The out-of-range record clamps into the same last bucket as (0.9,...).
+  EXPECT_DOUBLE_EQ(views[1].sigma_hi, 1.0);
+  EXPECT_DOUBLE_EQ(views[1].buffer_hi, 1.0);
+  EXPECT_DOUBLE_EQ(views[1].clustering_hi, 1.0);
+  EXPECT_EQ(views[1].stats->count, 2u);
+}
+
+TEST(AccuracyTrackerTest, ToTextSummarizesTotalsAndSigmaBands) {
+  AccuracyTracker tracker;
+  tracker.Record(0.005, 0.5, 0.5, 110.0, 100.0);
+  tracker.Record(0.7, 0.5, 0.5, 100.0, 100.0);
+  std::string text = tracker.ToText();
+  EXPECT_NE(text.find("samples=2"), std::string::npos) << text;
+  EXPECT_NE(text.find("sigma<=0.01"), std::string::npos) << text;
+  EXPECT_NE(text.find("sigma<=1"), std::string::npos) << text;
+}
+
+TEST(AccuracyTrackerTest, ToJsonCarriesTotalsEdgesAndHistograms) {
+  AccuracyTracker tracker;
+  tracker.Record(0.5, 0.5, 0.5, 110.0, 100.0);
+  std::string json = tracker.ToJson();
+  EXPECT_NE(json.find("\"samples\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean_signed_rel_error\":0.1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"error_edges\":[0.01,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"buckets\":[{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"over\":[0,0,0,1,0,0,0,0]"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"under\":[0,0,0,0,0,0,0,0]"), std::string::npos)
+      << json;
+}
+
+}  // namespace
+}  // namespace epfis
