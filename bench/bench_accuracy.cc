@@ -17,6 +17,8 @@
 //   --scans=N         scans per dataset                (default 100)
 //   --min-buffer=N    smallest buffer ever used        (default 12)
 //   --seed=S          RNG seed                         (default 42)
+//   --sample-rate=F   SHARDS rate of the statistics pass (default 1 = exact)
+//   --sample-max-pages=N  adaptive cap on sampled pages (default 0 = off)
 //   --json=PATH       error-histogram JSON             (default ACCURACY_errors.json)
 //   --max-mean-abs-err=F  exit non-zero if the mean absolute relative
 //                         error exceeds F (0 disables; default 0)
@@ -76,6 +78,9 @@ int main(int argc, char** argv) {
   config.min_buffer_pages =
       static_cast<uint64_t>(args.GetInt("min-buffer", 12));
   config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  config.lru_fit.sample_rate = args.GetDouble("sample-rate", 1.0);
+  config.lru_fit.sample_max_pages =
+      static_cast<uint64_t>(args.GetInt("sample-max-pages", 0));
   const std::string json_path =
       args.GetString("json", "ACCURACY_errors.json");
   const double max_mean_abs_err = args.GetDouble("max-mean-abs-err", 0.0);
@@ -116,7 +121,10 @@ int main(int argc, char** argv) {
   json << ",\n    \"buffers\": ";
   EmitList(json, config.buffer_fractions);
   json << ",\n    \"scans_per_dataset\": " << config.scans_per_dataset
-       << ",\n    \"seed\": " << config.seed << "\n  },\n  \"datasets\": [";
+       << ",\n    \"seed\": " << config.seed
+       << ",\n    \"sample_rate\": " << config.lru_fit.sample_rate
+       << ",\n    \"sample_max_pages\": " << config.lru_fit.sample_max_pages
+       << "\n  },\n  \"datasets\": [";
   for (size_t i = 0; i < report->datasets.size(); ++i) {
     const AccuracyDatasetReport& dataset = report->datasets[i];
     if (i > 0) json << ',';

@@ -6,8 +6,11 @@
 //       synthesize a table + index (the §5.2 generator)
 //   gwl COLUMN [scale]
 //       synthesize a GWL-like column (e.g. gwl CMAC.BRAN 0.25)
-//   stats NAME
-//       run LRU-Fit + build a histogram; store both in the catalog
+//   stats NAME [--sample-rate=R] [--sample-max-pages=N]
+//       run LRU-Fit + build a histogram; store both in the catalog.
+//       --sample-rate runs the SHARDS-sampled collection pass at rate R
+//       (0 < R <= 1); --sample-max-pages caps the sampled-page set,
+//       adapting the rate to the trace. Defaults are the exact pass.
 //   show NAME
 //       table shape and catalog statistics
 //   estimate NAME sigma buffer [sargable]
@@ -26,6 +29,7 @@
 //   run orders 1 40 250
 // EOF
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -144,17 +148,42 @@ class Shell {
 
   Status Stats(std::istringstream& args) {
     std::string name;
-    if (!(args >> name)) return Status::InvalidArgument("usage: stats NAME");
+    if (!(args >> name)) {
+      return Status::InvalidArgument(
+          "usage: stats NAME [--sample-rate=R] [--sample-max-pages=N]");
+    }
+    LruFitOptions options;
+    std::string flag;
+    while (args >> flag) {
+      if (flag.rfind("--sample-rate=", 0) == 0) {
+        options.sample_rate = std::strtod(flag.c_str() + 14, nullptr);
+      } else if (flag.rfind("--sample-max-pages=", 0) == 0) {
+        options.sample_max_pages =
+            std::strtoull(flag.c_str() + 19, nullptr, 10);
+      } else {
+        return Status::InvalidArgument(
+            "stats: unknown flag '" + flag +
+            "' (expected --sample-rate= or --sample-max-pages=)");
+      }
+    }
     EPFIS_ASSIGN_OR_RETURN(Dataset * dataset, Find(name));
     EPFIS_ASSIGN_OR_RETURN(std::vector<PageId> trace,
                            dataset->FullIndexPageTrace());
     EPFIS_ASSIGN_OR_RETURN(
         IndexStats stats,
         RunLruFit(trace, dataset->num_pages(), dataset->num_distinct(),
-                  name + ".key"));
+                  name + ".key", options));
     std::cout << "LRU-Fit: C=" << stats.clustering << ", B in ["
               << stats.b_min << ", " << stats.b_max << "], "
-              << stats.fpf->num_segments() << " segments\n";
+              << stats.fpf->num_segments() << " segments";
+    if (stats.sample_rate < 1.0) {
+      std::cout << ", sampled at R=" << stats.sample_rate << " ("
+                << stats.sampled_refs << " of " << stats.table_records
+                << " refs)";
+    } else {
+      std::cout << ", exact (" << stats.table_records << " refs)";
+    }
+    std::cout << '\n';
     catalog_.stats().Put(std::move(stats));
     EPFIS_ASSIGN_OR_RETURN(
         EquiDepthHistogram histogram,

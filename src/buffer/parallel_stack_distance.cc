@@ -1,6 +1,7 @@
 #include "buffer/parallel_stack_distance.h"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 #include <future>
 #include <utility>
@@ -33,6 +34,26 @@ void PublishKernelMetrics(const StackDistanceKernel& kernel) {
   lookups.Increment(hash.lookups);
   probes.Increment(hash.probes);
   grows.Increment(hash.grows);
+}
+
+// Publishes what a sampled pass did: volumes on both sides of the filter,
+// adaptive-threshold activity, and the rescale factor 1/R (a gauge, since
+// it is a property of the last run, not an accumulating event count).
+void PublishSamplingMetrics(const SamplingSummary& summary) {
+  if (!summary.active()) return;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter total = registry.GetCounter("sampling.total_refs");
+  static Counter sampled = registry.GetCounter("sampling.sampled_refs");
+  static Counter drops = registry.GetCounter("sampling.threshold_drops");
+  static Counter evicted = registry.GetCounter("sampling.evicted_pages");
+  static Gauge rescale =
+      registry.GetGauge("sampling.rescale_factor_x1000");
+  total.Increment(summary.total_refs);
+  sampled.Increment(summary.sampled_refs);
+  drops.Increment(summary.threshold_drops);
+  evicted.Increment(summary.evicted_pages);
+  rescale.Set(static_cast<int64_t>(
+      std::llround(1000.0 / summary.effective_rate)));
 }
 
 // How far ahead the shard pass prefetches last-access slots (matches the
@@ -103,23 +124,31 @@ ShardResult ProcessShard(const std::vector<PageId>& shard, uint64_t offset) {
   return result;
 }
 
-Result<StackDistanceHistogram> ComputeSerial(TraceSource& trace) {
+Result<SampledStackDistances> ComputeSerial(TraceSource& trace,
+                                            const SamplingOptions& sampling) {
   size_t expected = static_cast<size_t>(trace.size_hint().value_or(1024));
-  StackDistanceKernel kernel(expected == 0 ? 1 : expected);
+  StackDistanceKernel kernel(expected == 0 ? 1 : expected,
+                             /*window_hint=*/0, sampling);
   std::vector<PageId> buffer(1 << 16);
   for (;;) {
     EPFIS_ASSIGN_OR_RETURN(size_t n, trace.Next(buffer.data(), buffer.size()));
     if (n == 0) break;
     kernel.AccessAll(buffer.data(), n);
   }
-  if (kernel.accesses() == 0) {
+  SamplingSummary summary = kernel.sampling_summary();
+  if (summary.total_refs == 0) {
     return Status::InvalidArgument("stack distance: empty trace");
+  }
+  if (summary.sampled_refs == 0) {
+    return Status::FailedPrecondition(
+        "stack distance: sampling rate too low, no references sampled");
   }
   static Counter serial_runs =
       MetricsRegistry::Global().GetCounter("sd.serial_runs");
   serial_runs.Increment();
   PublishKernelMetrics(kernel);
-  return kernel.histogram();
+  PublishSamplingMetrics(summary);
+  return kernel.sampled_result();
 }
 
 // Merges one shard into the global histogram and last-access state.
@@ -172,23 +201,36 @@ void MergeShard(const ShardResult& shard, FenwickTree& live,
   }
 }
 
-}  // namespace
-
-Result<StackDistanceHistogram> ComputeStackDistances(
-    TraceSource& trace, ThreadPool* pool,
-    const StackDistanceOptions& options) {
-  if (pool == nullptr || pool->num_threads() <= 1) {
-    return ComputeSerial(trace);
-  }
+// Sharded computation over the (possibly filtered) trace. In sampled mode
+// every shard uses the one static threshold baked into the chunk-fill
+// loop below — shards never see a dropped reference, global positions and
+// the merge's live axis live in the sampled sub-trace, and the merge is
+// the exact algorithm over that sub-trace. `total_refs_out` reports every
+// reference read, sampled or not; `exact_distinct_out` the exact distinct
+// page count of the full trace (the single reader marks first touches of
+// every page in a bitmap while it filters; 0 when unfiltered — the merge
+// already counts exact colds then).
+Result<StackDistanceHistogram> ComputeParallel(
+    TraceSource& trace, ThreadPool& pool,
+    const StackDistanceOptions& options, uint64_t threshold,
+    uint64_t* total_refs_out, uint64_t* exact_distinct_out) {
   size_t num_shards =
-      options.num_shards > 0 ? options.num_shards : pool->num_threads();
+      options.num_shards > 0 ? options.num_shards : pool.num_threads();
   size_t min_refs = std::max<size_t>(options.min_shard_refs, 1);
+  const bool filtered = threshold < kSampleModulus;
+  const double rate = static_cast<double>(threshold) /
+                      static_cast<double>(kSampleModulus);
 
-  // Shard size: split a known-length trace evenly; fall back to a fixed
-  // chunk for unbounded sources (more shards than workers just queue).
+  // Shard size: split a known-length trace evenly (scaled by the expected
+  // survivor fraction when filtering); fall back to a fixed chunk for
+  // unbounded sources (more shards than workers just queue).
   size_t shard_refs;
   if (auto hint = trace.size_hint(); hint.has_value() && *hint > 0) {
-    shard_refs = static_cast<size_t>((*hint + num_shards - 1) / num_shards);
+    double expected = static_cast<double>(*hint);
+    if (filtered) expected *= rate;
+    shard_refs = static_cast<size_t>(expected /
+                                     static_cast<double>(num_shards)) +
+                 1;
   } else {
     shard_refs = size_t{1} << 20;
   }
@@ -196,34 +238,52 @@ Result<StackDistanceHistogram> ComputeStackDistances(
 
   // Parallel phase: stream shard-sized chunks to the pool, capping the
   // number of in-flight shards so an unbounded source never accumulates
-  // unprocessed raw trace in memory.
+  // unprocessed raw trace in memory. The filter runs here, in the single
+  // reader, so every shard agrees on the sampled subset by construction.
   std::vector<std::future<ShardResult>> futures;
   std::vector<ShardResult> results;
-  const size_t max_in_flight = pool->num_threads() + 2;
-  uint64_t total_refs = 0;
-  for (;;) {
-    std::vector<PageId> shard(shard_refs);
-    size_t filled = 0;
-    while (filled < shard.size()) {
-      EPFIS_ASSIGN_OR_RETURN(
-          size_t n, trace.Next(shard.data() + filled, shard.size() - filled));
-      if (n == 0) break;
-      filled += n;
-    }
-    if (filled == 0) break;
-    shard.resize(filled);
-    uint64_t offset = total_refs;
-    total_refs += filled;
-    futures.push_back(pool->Submit(
+  const size_t max_in_flight = pool.num_threads() + 2;
+  uint64_t total_refs = 0;    // References read from the source.
+  uint64_t sampled_refs = 0;  // References that passed the filter.
+  std::vector<PageId> raw(size_t{1} << 16);
+  std::vector<PageId> shard;
+  shard.reserve(shard_refs);
+  auto submit = [&] {
+    uint64_t offset = sampled_refs - shard.size();
+    futures.push_back(pool.Submit(
         [shard = std::move(shard), offset]() mutable {
           return ProcessShard(shard, offset);
         }));
+    shard = std::vector<PageId>();
+    shard.reserve(shard_refs);
     while (futures.size() - results.size() >= max_in_flight) {
       results.push_back(futures[results.size()].get());
     }
+  };
+  PageSeenSet seen;
+  for (;;) {
+    EPFIS_ASSIGN_OR_RETURN(size_t n, trace.Next(raw.data(), raw.size()));
+    if (n == 0) break;
+    total_refs += n;
+    for (size_t i = 0; i < n; ++i) {
+      if (filtered) {
+        seen.TestAndSet(raw[i]);
+        if (SampleHash(raw[i]) >= threshold) continue;
+      }
+      shard.push_back(raw[i]);
+      ++sampled_refs;
+      if (shard.size() >= shard_refs) submit();
+    }
   }
+  if (!shard.empty()) submit();
+  *total_refs_out = total_refs;
+  *exact_distinct_out = filtered ? seen.distinct() : 0;
   if (total_refs == 0) {
     return Status::InvalidArgument("stack distance: empty trace");
+  }
+  if (sampled_refs == 0) {
+    return Status::FailedPrecondition(
+        "stack distance: sampling rate too low, no references sampled");
   }
   try {
     while (results.size() < futures.size()) {
@@ -242,15 +302,75 @@ Result<StackDistanceHistogram> ComputeStackDistances(
   static LatencyHistogram merge_ns = registry.GetHistogram("sd.merge_ns");
   parallel_runs.Increment();
   StackDistanceHistogram out;
-  FenwickTree live(static_cast<size_t>(total_refs));
+  FenwickTree live(static_cast<size_t>(sampled_refs));
   FlatHashMap<PageId, uint64_t, kInvalidPageId> global_last;
   {
     ScopedTimer timer(merge_ns);
-    for (const ShardResult& shard : results) {
-      MergeShard(shard, live, global_last, out);
+    for (const ShardResult& shard_result : results) {
+      MergeShard(shard_result, live, global_last, out);
     }
   }
   return out;
+}
+
+}  // namespace
+
+Result<StackDistanceHistogram> ComputeStackDistances(
+    TraceSource& trace, ThreadPool* pool,
+    const StackDistanceOptions& options) {
+  if (options.sampling.enabled()) {
+    return Status::InvalidArgument(
+        "stack distance: sampling requested on the exact entry point; "
+        "call ComputeSampledStackDistances");
+  }
+  EPFIS_ASSIGN_OR_RETURN(SampledStackDistances result,
+                         ComputeSampledStackDistances(trace, pool, options));
+  return std::move(result.histogram);
+}
+
+Result<SampledStackDistances> ComputeSampledStackDistances(
+    TraceSource& trace, ThreadPool* pool,
+    const StackDistanceOptions& options) {
+  EPFIS_RETURN_IF_ERROR(options.sampling.Validate());
+  // Adaptive mode's threshold is a global, time-ordered quantity (it
+  // drops as the set fills), which independent shards cannot reproduce;
+  // it always runs on the serial kernel. Fixed-rate and exact runs shard
+  // freely.
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      options.sampling.max_pages > 0) {
+    return ComputeSerial(trace, options.sampling);
+  }
+  uint64_t threshold = options.sampling.rate < 1.0
+                           ? SampleThresholdForRate(options.sampling.rate)
+                           : kSampleModulus;
+  uint64_t total_refs = 0;
+  uint64_t exact_distinct = 0;
+  EPFIS_ASSIGN_OR_RETURN(StackDistanceHistogram raw,
+                         ComputeParallel(trace, *pool, options, threshold,
+                                         &total_refs, &exact_distinct));
+  SampledStackDistances result;
+  result.sampling.requested_rate = options.sampling.rate;
+  result.sampling.requested_max_pages = options.sampling.max_pages;
+  result.sampling.effective_rate =
+      static_cast<double>(threshold) / static_cast<double>(kSampleModulus);
+  result.sampling.total_refs = total_refs;
+  result.sampling.sampled_refs = raw.accesses();
+  // Fixed-rate never evicts, so every sampled page stays resident.
+  result.sampling.sampled_pages = raw.distinct_pages();
+  result.sampling.exact_distinct = exact_distinct;
+  if (result.sampling.active()) {
+    // Same wrap-time rescale as the serial kernel's sampled_result():
+    // realized page ratio over the raw sampled-domain merge output, so
+    // serial and sharded runs stay exactly equal.
+    double factor =
+        SampledDistanceScale(exact_distinct, raw.cold_misses(),
+                             1.0 / result.sampling.effective_rate);
+    result.histogram = RescaleSampledDistances(raw, factor);
+  } else {
+    result.histogram = std::move(raw);
+  }
+  PublishSamplingMetrics(result.sampling);
+  return result;
 }
 
 }  // namespace epfis

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "buffer/sampling.h"
 #include "buffer/stack_distance.h"
 #include "epfis/trace_source.h"
 #include "util/result.h"
@@ -22,6 +23,16 @@ struct StackDistanceOptions {
   /// shards whose fixed costs dominate. Tests lower this to exercise
   /// many-shard merges on small traces.
   size_t min_shard_refs = 4096;
+
+  /// SHARDS spatial sampling (ComputeSampledStackDistances only; the
+  /// exact entry point rejects it). In fixed-rate mode every shard shares
+  /// the one static threshold — the filter runs in the streaming chunk
+  /// fill, so shards only ever see the sampled sub-trace and the merge is
+  /// the exact algorithm over it. The fixed-size adaptive mode needs a
+  /// globally evolving threshold, which shards cannot agree on without
+  /// serializing, so it always runs on the serial kernel (see DESIGN.md
+  /// §10).
+  SamplingOptions sampling;
 };
 
 /// Computes the LRU stack-distance histogram of `trace`.
@@ -38,8 +49,27 @@ struct StackDistanceOptions {
 /// The trace is consumed in chunks and never materialized whole; peak
 /// memory is O(in-flight shards + distinct pages per shard).
 ///
-/// Fails with InvalidArgument on an empty trace.
+/// Fails with InvalidArgument on an empty trace, or if `options.sampling`
+/// requests sampling (use ComputeSampledStackDistances — an exact entry
+/// point silently downgraded to an estimate would be a trap).
 Result<StackDistanceHistogram> ComputeStackDistances(
+    TraceSource& trace, ThreadPool* pool = nullptr,
+    const StackDistanceOptions& options = {});
+
+/// Sampling-aware variant: applies `options.sampling` and returns the
+/// histogram together with its sampling provenance, wrapped in the
+/// rescaling accessors of SampledStackDistances. With sampling disabled
+/// this is ComputeStackDistances plus an exact summary, bit-identical to
+/// the exact paths. Serial and sharded runs of the same fixed-rate
+/// configuration produce identical results (the scaled emission and the
+/// bucket rescale after the merge compute the same values), which the
+/// property tests assert across shard counts.
+///
+/// Fails with InvalidArgument on invalid sampling options, on an empty
+/// trace, and with FailedPrecondition when the trace is non-empty but no
+/// reference survived the filter (the rate is too low for the trace; an
+/// all-zero curve would be an estimate of nothing).
+Result<SampledStackDistances> ComputeSampledStackDistances(
     TraceSource& trace, ThreadPool* pool = nullptr,
     const StackDistanceOptions& options = {});
 

@@ -25,6 +25,12 @@ class StackDistanceHistogram {
     ++cold_misses_;
   }
 
+  /// Adds `count` first-touch references at once (histogram rescaling).
+  void AddColdMisses(uint64_t count) {
+    accesses_ += count;
+    cold_misses_ += count;
+  }
+
   /// Records a re-reference with finite stack distance `d` (d >= 1).
   void AddDistance(uint64_t d) {
     ++accesses_;

@@ -1,6 +1,7 @@
 #include "buffer/stack_distance_kernel.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace epfis {
 namespace {
@@ -25,42 +26,148 @@ size_t InitialWindow(size_t expected_refs, size_t window_hint) {
   return std::clamp(expected_refs, size_t{1024}, kMaxInitialWindow);
 }
 
+// Pre-sizing input under sampling: only ~rate of the references survive
+// the filter, so the window and table must be sized from the *sampled*
+// volume — a 1% sample of a 10M-ref trace would otherwise allocate the
+// full-trace window up front.
+size_t SampledExpectedRefs(size_t expected_refs,
+                           const SamplingOptions& sampling) {
+  if (sampling.rate < 1.0) {
+    expected_refs = static_cast<size_t>(
+                        static_cast<double>(expected_refs) * sampling.rate) +
+                    16;
+  }
+  return expected_refs;
+}
+
+size_t InitialTableEntries(size_t expected_refs,
+                           const SamplingOptions& sampling) {
+  // A modest fraction of the references are distinct pages in the traces
+  // this models; the table grows itself if the guess is low. The adaptive
+  // cap bounds the set outright.
+  size_t entries = std::min(expected_refs / 8 + 16, kMaxInitialTableSize);
+  if (sampling.max_pages > 0) {
+    entries = std::min<size_t>(entries, sampling.max_pages + 1);
+  }
+  return entries;
+}
+
 }  // namespace
 
 StackDistanceKernel::StackDistanceKernel(size_t expected_refs,
-                                         size_t window_hint)
-    : window_(InitialWindow(expected_refs, window_hint)),
+                                         size_t window_hint,
+                                         SamplingOptions sampling)
+    : window_(InitialWindow(SampledExpectedRefs(expected_refs, sampling),
+                            window_hint)),
       live_(window_),
-      // A modest fraction of the references are distinct pages in the
-      // traces this models; the table grows itself if the guess is low.
-      last_access_(std::min(expected_refs / 8 + 16, kMaxInitialTableSize)) {}
+      last_access_(InitialTableEntries(
+          SampledExpectedRefs(expected_refs, sampling), sampling)),
+      sampling_(sampling),
+      threshold_(sampling.enabled() ? SampleThresholdForRate(sampling.rate)
+                                    : kSampleModulus),
+      inv_rate_(static_cast<double>(kSampleModulus) /
+                static_cast<double>(threshold_)),
+      exact_cold_(sampling.enabled() && sampling.max_pages == 0) {
+  if (sampling_.max_pages > 0) sample_heap_.reserve(sampling_.max_pages + 1);
+}
 
 void StackDistanceKernel::Access(PageId page_id) {
+  if (sampling_.enabled()) {
+    ++total_refs_;
+    if (exact_cold_) exact_seen_.TestAndSet(page_id);
+    if (SampleHash(page_id) >= threshold_) return;
+  }
+  AccessSampled(page_id);
+}
+
+void StackDistanceKernel::AccessSampled(PageId page_id) {
   if (now_ == window_) Compact();
   auto [last, inserted] = last_access_.TryEmplace(page_id, now_);
   if (inserted) {
     histogram_.AddColdMiss();
+    live_.Set(static_cast<size_t>(now_));
+    ++now_;
+    if (sampling_.max_pages > 0) {
+      sample_heap_.emplace_back(SampleHash(page_id), page_id);
+      std::push_heap(sample_heap_.begin(), sample_heap_.end());
+      if (last_access_.size() > sampling_.max_pages) EvictOverflow();
+    }
   } else {
     uint64_t prev = *last;
     // Every page in the table owns exactly one live bit, all at times
     // < now, so the bits at [prev, now) are table_size - bits_below_prev
     // (CountBelow(0) sums an empty prefix — no underflow when prev == 0).
     uint64_t below = live_.CountBelow(static_cast<size_t>(prev));
-    histogram_.AddDistance(static_cast<uint64_t>(last_access_.size()) -
-                           below);
+    uint64_t d = static_cast<uint64_t>(last_access_.size()) - below;
+    if (!exact_cold_ && inv_rate_ != 1.0) {
+      // Adaptive mode scales into the full-trace distance domain at the
+      // rate in effect right now (the threshold moves, so this cannot be
+      // deferred). The re-referenced page itself always survives the
+      // filter, so only the other d-1 stack entries were thinned at rate
+      // R: E[d_sampled] = 1 + R(d_true - 1), giving the unbiased
+      // estimate (d - 1)/R + 1 rather than the naive d/R (which would
+      // shift the whole curve right by (1-R)/R pages). Fixed-rate mode
+      // keeps raw sampled distances; sampled_result() rescales them by
+      // the realized page ratio instead.
+      d = 1 + static_cast<uint64_t>(
+                  std::llround(static_cast<double>(d - 1) * inv_rate_));
+    }
+    histogram_.AddDistance(d);
     live_.Clear(static_cast<size_t>(prev));
     *last = now_;
+    live_.Set(static_cast<size_t>(now_));
+    ++now_;
   }
-  live_.Set(static_cast<size_t>(now_));
-  ++now_;
 }
 
 void StackDistanceKernel::AccessAll(const PageId* trace, size_t count) {
-  for (size_t i = 0; i < count; ++i) {
-    if (i + kPrefetchAhead < count) {
-      last_access_.Prefetch(trace[i + kPrefetchAhead]);
+  if (!sampling_.enabled()) {
+    for (size_t i = 0; i < count; ++i) {
+      if (i + kPrefetchAhead < count) {
+        last_access_.Prefetch(trace[i + kPrefetchAhead]);
+      }
+      AccessSampled(trace[i]);
     }
-    Access(trace[i]);
+    return;
+  }
+  // Sampled streaming: the skip path is one hash + compare per reference
+  // (plus one bitmap test-and-set in fixed-rate mode, which buys exact
+  // cold misses); table prefetch only happens from already-sampled
+  // references, and only for upcoming references that will themselves be
+  // sampled.
+  total_refs_ += count;
+  for (size_t i = 0; i < count; ++i) {
+    if (exact_cold_) exact_seen_.TestAndSet(trace[i]);
+    if (SampleHash(trace[i]) >= threshold_) continue;
+    if (i + kPrefetchAhead < count) {
+      PageId ahead = trace[i + kPrefetchAhead];
+      if (SampleHash(ahead) < threshold_) last_access_.Prefetch(ahead);
+    }
+    AccessSampled(trace[i]);
+  }
+}
+
+void StackDistanceKernel::EvictOverflow() {
+  while (last_access_.size() > sampling_.max_pages &&
+         !sample_heap_.empty()) {
+    // The new threshold is the largest hash in the set; every page
+    // holding it (ties included) leaves the sample together, so the set
+    // stays exactly "all tracked pages with hash < threshold".
+    uint64_t new_threshold = sample_heap_.front().first;
+    while (!sample_heap_.empty() &&
+           sample_heap_.front().first >= new_threshold) {
+      PageId victim = sample_heap_.front().second;
+      std::pop_heap(sample_heap_.begin(), sample_heap_.end());
+      sample_heap_.pop_back();
+      uint64_t* pos = last_access_.Find(victim);
+      live_.Clear(static_cast<size_t>(*pos));
+      last_access_.Erase(victim);
+      ++evicted_pages_;
+    }
+    threshold_ = new_threshold;
+    inv_rate_ = static_cast<double>(kSampleModulus) /
+                static_cast<double>(std::max<uint64_t>(threshold_, 1));
+    ++threshold_drops_;
   }
 }
 

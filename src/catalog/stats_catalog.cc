@@ -71,6 +71,8 @@ std::string StatsCatalog::SaveToStringLocked() const {
     os << "b_max=" << s.b_max << '\n';
     os << "f_min=" << s.f_min << '\n';
     os << "clustering=" << FormatDouble(s.clustering) << '\n';
+    os << "sample_rate=" << FormatDouble(s.sample_rate) << '\n';
+    os << "sampled_refs=" << s.sampled_refs << '\n';
     os << "knots=";
     if (s.fpf.has_value()) {
       bool first = true;
@@ -137,6 +139,12 @@ Status StatsCatalog::LoadFromString(const std::string& text) {
       current.f_min = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "clustering") {
       current.clustering = std::strtod(value.c_str(), nullptr);
+    } else if (key == "sample_rate") {
+      // Absent in pre-sampling catalogs; the IndexStats default (1.0,
+      // exact) then applies.
+      current.sample_rate = std::strtod(value.c_str(), nullptr);
+    } else if (key == "sampled_refs") {
+      current.sampled_refs = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "knots") {
       if (value.empty()) continue;
       std::vector<Knot> knots;

@@ -27,6 +27,17 @@ struct IndexStats {
   /// Clustering factor C = (N - F_min) / (N - T), clamped to [0, 1].
   double clustering = 0.0;
 
+  /// Effective SHARDS sampling rate of the statistics pass that produced
+  /// this entry (DESIGN.md §10); 1.0 means an exact pass. Est-IO
+  /// consumers can read it as estimate provenance: at rate R the FPF
+  /// knots, F_min, A, and C are rescaled sample estimates with relative
+  /// error that shrinks as R·N grows, not exact counts.
+  double sample_rate = 1.0;
+
+  /// References the statistics pass actually simulated (== N when
+  /// exact); the absolute sample size behind `sample_rate`.
+  uint64_t sampled_refs = 0;
+
   /// The approximated FPF curve: buffer size -> full-scan page fetches.
   /// Stored as line-segment knots exactly as the paper's catalog entry.
   std::optional<PiecewiseLinear> fpf;

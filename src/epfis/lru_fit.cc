@@ -34,17 +34,18 @@ Result<ModelRange> DetermineRange(uint64_t table_pages,
   return ModelRange{b_min, b_max};
 }
 
-Result<StackDistanceHistogram> SimulateTrace(TraceSource& trace,
-                                             ThreadPool* pool,
-                                             size_t num_shards) {
+Result<SampledStackDistances> SimulateTrace(TraceSource& trace,
+                                            const LruFitOptions& options) {
   StackDistanceOptions sd_options;
-  sd_options.num_shards = num_shards;
-  auto histogram = ComputeStackDistances(trace, pool, sd_options);
-  if (!histogram.ok() &&
-      histogram.status().code() == StatusCode::kInvalidArgument) {
+  sd_options.num_shards = options.num_shards;
+  sd_options.sampling.rate = options.sample_rate;
+  sd_options.sampling.max_pages = options.sample_max_pages;
+  auto result = ComputeSampledStackDistances(trace, options.pool, sd_options);
+  if (!result.ok() &&
+      result.status().code() == StatusCode::kInvalidArgument) {
     return Status::InvalidArgument("LRU-Fit: empty index trace");
   }
-  return histogram;
+  return result;
 }
 
 }  // namespace
@@ -60,6 +61,10 @@ Status LruFitOptions::Validate() const {
       *b_min_override > *b_max_override) {
     return Status::InvalidArgument(
         "LRU-Fit: b_min_override exceeds b_max_override");
+  }
+  if (!(sample_rate > 0.0) || sample_rate > 1.0) {
+    return Status::InvalidArgument(
+        "LRU-Fit: sample_rate must be in (0, 1]");
   }
   return Status::Ok();
 }
@@ -108,15 +113,17 @@ Result<IndexStats> RunLruFit(TraceSource& trace, uint64_t table_pages,
                          DetermineRange(table_pages, options));
 
   // One pass over the trace: the stack simulation gives F for *every*
-  // buffer size; we read it out at the scheduled sizes.
+  // buffer size; we read it out at the scheduled sizes. Under sampling
+  // the pass covers only the hash-sampled page subset and the accessors
+  // below rescale to full-trace estimates; the reference count N stays
+  // exact (the filter counts what it drops).
   EPFIS_ASSIGN_OR_RETURN(std::vector<uint64_t> sizes,
                          MakeBufferSchedule(range.b_min, range.b_max,
                                             options.schedule));
-  StackDistanceHistogram histogram;
+  SampledStackDistances histogram;
   {
     ScopedTimer timer(simulate_ns);
-    EPFIS_ASSIGN_OR_RETURN(
-        histogram, SimulateTrace(trace, options.pool, options.num_shards));
+    EPFIS_ASSIGN_OR_RETURN(histogram, SimulateTrace(trace, options));
   }
   runs_counter.Increment();
   refs_counter.Increment(histogram.accesses());
@@ -128,9 +135,16 @@ Result<IndexStats> RunLruFit(TraceSource& trace, uint64_t table_pages,
   stats.table_records = histogram.accesses();
   stats.distinct_keys = distinct_keys;
   stats.pages_accessed = histogram.distinct_pages();
+  if (histogram.sampling.active()) {
+    // The rescaled distinct-page estimate can overshoot the physical
+    // bound A <= T; clamp so downstream [A, N] clamps stay physical.
+    stats.pages_accessed = std::min(stats.pages_accessed, table_pages);
+  }
   stats.b_min = range.b_min;
   stats.b_max = range.b_max;
   stats.f_min = histogram.Fetches(range.b_min);
+  stats.sample_rate = histogram.sampling.effective_rate;
+  stats.sampled_refs = histogram.sampling.sampled_refs;
 
   // C = (N - F_min) / (N - T); degenerate N <= T means no page can be
   // refetched even with one buffer, i.e. perfectly clustered.

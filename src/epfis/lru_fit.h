@@ -50,10 +50,23 @@ struct LruFitOptions {
   /// Trace shards when `pool` is set; 0 = one shard per pool worker.
   size_t num_shards = 0;
 
+  /// SHARDS spatial sampling of the statistics pass (DESIGN.md §10): keep
+  /// a page's references iff its hash falls under `sample_rate`, run the
+  /// exact simulation over that subset, rescale. Cuts the dominant
+  /// statistics-refresh cost by ~1/rate at a few percent of FPF-curve
+  /// error; 1.0 (the default) is the exact pass, bit-identical to before.
+  double sample_rate = 1.0;
+
+  /// Fixed-size adaptive sampling: cap the sampled-page set at this many
+  /// distinct pages, lowering the rate on the fly as the trace reveals
+  /// its working set (bounds memory, runs serial). 0 disables the cap.
+  /// Composable with `sample_rate` as the starting rate.
+  uint64_t sample_max_pages = 0;
+
   /// Checks the options for internal consistency: at least one segment,
-  /// a non-zero B_sml, and overrides with b_min_override <= b_max_override.
-  /// RunLruFit calls this first, so option errors surface as
-  /// InvalidArgument before any simulation work starts.
+  /// a non-zero B_sml, overrides with b_min_override <= b_max_override,
+  /// and a sample rate in (0, 1]. RunLruFit calls this first, so option
+  /// errors surface as InvalidArgument before any simulation work starts.
   Status Validate() const;
 };
 

@@ -17,7 +17,9 @@ namespace epfis {
 /// Open-addressing hash map tuned for the Mattson stack-distance hot loop:
 /// flat slot array (no per-node allocation, no pointer chasing), power-of-two
 /// capacity with Fibonacci hashing, linear probing, and no tombstones —
-/// the simulators only ever insert and update, never erase.
+/// Erase uses backward-shift deletion, so probe sequences stay as short as
+/// if the erased keys had never been inserted (the adaptive sampling mode
+/// evicts pages; everything else only inserts and updates).
 ///
 /// `kEmptyKey` marks unoccupied slots and must never be inserted (the
 /// simulators use kInvalidPageId, which no trace contains). Values are
@@ -104,6 +106,40 @@ class FlatHashMap {
       }
       i = (i + 1) & mask_;
     }
+  }
+
+  /// Removes `key` if present; returns whether it was. Backward-shift
+  /// deletion: later entries of the probe cluster slide back over the
+  /// hole when their home slot permits, so no tombstone is left and
+  /// lookups never scan dead slots.
+  bool Erase(Key key) {
+    size_t i = IndexFor(key);
+#if EPFIS_METRICS_ENABLED
+    ++stats_.lookups;
+#endif
+    for (;;) {
+#if EPFIS_METRICS_ENABLED
+      ++stats_.probes;
+#endif
+      if (slots_[i].key == key) break;
+      if (slots_[i].key == kEmptyKey) return false;
+      i = (i + 1) & mask_;
+    }
+    size_t hole = i;
+    for (size_t j = (hole + 1) & mask_;; j = (j + 1) & mask_) {
+      if (slots_[j].key == kEmptyKey) break;
+      // Slide j back iff its home slot is not in the (hole, j] cyclic
+      // span — i.e. the entry's probe sequence passes through the hole.
+      size_t home = IndexFor(slots_[j].key);
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    slots_[hole].key = kEmptyKey;
+    slots_[hole].value = Value{};
+    --size_;
+    return true;
   }
 
   /// Hints the CPU to load the first probe slot of `key`'s sequence.

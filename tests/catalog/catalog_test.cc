@@ -84,6 +84,8 @@ IndexStats MakeStats(const std::string& name) {
   stats.b_max = 774;
   stats.f_min = 9000;
   stats.clustering = 0.433;
+  stats.sample_rate = 0.0099999997764825821;  // A non-round effective rate.
+  stats.sampled_refs = 1548;
   stats.fpf = PiecewiseLinear::FromKnots(
                   {{12, 9000.25}, {100, 4000.5}, {774, 774}})
                   .value();
@@ -133,12 +135,40 @@ TEST(StatsCatalogTest, SerializationRoundTrip) {
   EXPECT_EQ(restored.b_max, original.b_max);
   EXPECT_EQ(restored.f_min, original.f_min);
   EXPECT_DOUBLE_EQ(restored.clustering, original.clustering);
+  // The sampling provenance survives exactly (%.17g round-trips the
+  // non-round effective rate bit for bit).
+  EXPECT_EQ(restored.sample_rate, original.sample_rate);
+  EXPECT_EQ(restored.sampled_refs, original.sampled_refs);
   ASSERT_TRUE(restored.fpf.has_value());
   EXPECT_EQ(restored.fpf->knots(), original.fpf->knots());
   // The curve evaluates identically after the round trip.
   for (double b : {12.0, 50.0, 300.0, 774.0, 1000.0}) {
     EXPECT_DOUBLE_EQ(restored.fpf->Eval(b), original.fpf->Eval(b));
   }
+}
+
+TEST(StatsCatalogTest, LoadsPreSamplingCatalogsWithExactDefaults) {
+  // Catalog files written before the sampling fields existed have no
+  // sample_rate/sampled_refs lines; they must load as exact-pass entries.
+  std::string old_format =
+      "[index]\n"
+      "name=legacy\n"
+      "table_pages=100\n"
+      "table_records=4000\n"
+      "distinct_keys=50\n"
+      "pages_accessed=100\n"
+      "b_min=12\n"
+      "b_max=100\n"
+      "f_min=900\n"
+      "clustering=0.5\n"
+      "knots=12:900,100:100\n"
+      "[end]\n";
+  StatsCatalog catalog;
+  ASSERT_TRUE(catalog.LoadFromString(old_format).ok());
+  auto stats = catalog.Get("legacy");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->sample_rate, 1.0);
+  EXPECT_EQ(stats->sampled_refs, 0u);
 }
 
 TEST(StatsCatalogTest, FileRoundTrip) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "buffer/lru_simulator.h"
@@ -150,6 +151,69 @@ TEST(LruFitTest, GeometricScheduleAlsoFits) {
   auto stats = RunLruFit(RoundRobinTrace(300, 4), 300, 30, "x", options);
   ASSERT_TRUE(stats.ok());
   EXPECT_TRUE(stats->fpf.has_value());
+}
+
+TEST(LruFitTest, RejectsInvalidSampleRate) {
+  for (double bad : {0.0, -0.5, 1.0000001, 2.0,
+                     std::numeric_limits<double>::quiet_NaN()}) {
+    LruFitOptions options;
+    options.sample_rate = bad;
+    auto stats = RunLruFit({1, 2, 3}, 10, 3, "x", options);
+    EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument)
+        << "rate=" << bad;
+  }
+}
+
+TEST(LruFitTest, SampledRunRecordsProvenance) {
+  Rng rng(53);
+  std::vector<PageId> trace;
+  for (int i = 0; i < 40'000; ++i) {
+    trace.push_back(static_cast<PageId>(rng.NextBounded(2'000)));
+  }
+  LruFitOptions options;
+  options.sample_rate = 0.1;
+  auto stats = RunLruFit(trace, 2'000, 200, "sampled", options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  // Provenance: the effective rate lands on the quantized threshold near
+  // the request, and the sampled-ref count is a ~10% subset.
+  EXPECT_NEAR(stats->sample_rate, 0.1, 1e-6);
+  EXPECT_GT(stats->sampled_refs, 0u);
+  EXPECT_LT(stats->sampled_refs, trace.size() / 2);
+  // N stays exact (the filter counts what it drops).
+  EXPECT_EQ(stats->table_records, trace.size());
+  // Estimates stay physical: A <= T, F_min <= N.
+  EXPECT_LE(stats->pages_accessed, stats->table_pages);
+  EXPECT_LE(stats->f_min, stats->table_records);
+  EXPECT_GE(stats->clustering, 0.0);
+  EXPECT_LE(stats->clustering, 1.0);
+
+  // The sampled stats track the exact run's headline numbers closely on
+  // this trace (deterministic hash — no flake).
+  auto exact = RunLruFit(trace, 2'000, 200, "exact");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_DOUBLE_EQ(exact->sample_rate, 1.0);
+  EXPECT_EQ(exact->sampled_refs, trace.size());
+  EXPECT_NEAR(stats->clustering, exact->clustering, 0.05);
+  EXPECT_NEAR(static_cast<double>(stats->f_min),
+              static_cast<double>(exact->f_min),
+              0.05 * static_cast<double>(exact->f_min));
+}
+
+TEST(LruFitTest, AdaptiveSampledRunCapsPages) {
+  Rng rng(54);
+  std::vector<PageId> trace;
+  for (int i = 0; i < 30'000; ++i) {
+    trace.push_back(static_cast<PageId>(rng.NextBounded(3'000)));
+  }
+  LruFitOptions options;
+  options.sample_max_pages = 128;
+  auto stats = RunLruFit(trace, 3'000, 300, "adaptive", options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_LT(stats->sample_rate, 1.0);
+  EXPECT_LT(stats->sampled_refs, trace.size());
+  EXPECT_EQ(stats->table_records, trace.size());
+  EXPECT_LE(stats->pages_accessed, 3'000u);
 }
 
 TEST(SampleFpfCurveTest, MonotoneNonIncreasing) {

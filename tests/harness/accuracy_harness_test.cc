@@ -91,6 +91,31 @@ TEST(AccuracyHarnessTest, DeterministicForAFixedSeed) {
   EXPECT_EQ(first.ToJson(), second.ToJson());
 }
 
+// The end-to-end sampled-statistics property: running the whole harness
+// with a SHARDS-sampled statistics pass (R = 0.1) must keep EstIo's
+// accuracy close to the exact pass — sampled catalogs are only useful if
+// the estimator error budget survives the sampling. Ground truth is still
+// exact; only the statistics pass is sampled.
+TEST(AccuracyHarnessTest, SampledStatsKeepEstimatorAccuracy) {
+  AccuracyHarnessConfig config = SmallConfig();
+  AccuracyTracker exact;
+  ASSERT_TRUE(RunAccuracyHarness(config, &exact).ok());
+
+  config.lru_fit.sample_rate = 0.1;
+  AccuracyTracker sampled;
+  auto report = RunAccuracyHarness(config, &sampled);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(sampled.samples(), exact.samples());
+  EXPECT_TRUE(std::isfinite(sampled.MeanAbsRelativeError()));
+  // Same bound the exact run is held to...
+  EXPECT_LT(sampled.MeanAbsRelativeError(), 1.0);
+  // ...and no meaningful degradation against it (deterministic hash
+  // sampling, so the margin cannot flake).
+  EXPECT_LT(sampled.MeanAbsRelativeError(),
+            exact.MeanAbsRelativeError() + 0.05);
+}
+
 TEST(AccuracyHarnessTest, PublishesProgressMetrics) {
 #if EPFIS_METRICS_ENABLED
   MetricsSnapshot before = MetricsRegistry::Global().Snapshot();

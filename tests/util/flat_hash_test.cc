@@ -143,6 +143,76 @@ TEST(FlatHashTest, AdjacentKeysCollideGracefully) {
   EXPECT_EQ(map.Find(4'100), nullptr);
 }
 
+TEST(FlatHashTest, EraseBasics) {
+  PageMap map;
+  EXPECT_FALSE(map.Erase(7));  // Absent key on an empty table.
+  map.TryEmplace(7, 70);
+  map.TryEmplace(8, 80);
+  EXPECT_TRUE(map.Erase(7));
+  EXPECT_EQ(map.Find(7), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.Find(8), nullptr);
+  EXPECT_EQ(*map.Find(8), 80u);
+  EXPECT_FALSE(map.Erase(7));  // Double erase is a no-op.
+  // The slot is genuinely free again (no tombstone): re-insert works.
+  EXPECT_TRUE(map.TryEmplace(7, 71).second);
+  EXPECT_EQ(*map.Find(7), 71u);
+}
+
+TEST(FlatHashTest, EraseShiftsDisplacedRuns) {
+  // Backward-shift deletion must keep displaced keys findable. A tiny
+  // table plus a dense key block guarantees long probe runs, so erasing
+  // from the middle of a run exercises the shift logic hard.
+  PageMap map(4);
+  for (uint32_t k = 0; k < 64; ++k) map.TryEmplace(k, k * 10);
+  for (uint32_t k = 0; k < 64; k += 3) EXPECT_TRUE(map.Erase(k));
+  for (uint32_t k = 0; k < 64; ++k) {
+    if (k % 3 == 0) {
+      EXPECT_EQ(map.Find(k), nullptr) << k;
+    } else {
+      ASSERT_NE(map.Find(k), nullptr) << k;
+      EXPECT_EQ(*map.Find(k), k * 10) << k;
+    }
+  }
+}
+
+TEST(FlatHashTest, EraseMatchesUnorderedMapUnderRandomWorkloads) {
+  // The insert/find fuzz above, extended with erases — the workload the
+  // adaptive sampling eviction actually runs.
+  for (uint32_t universe : {16u, 1'000u, 1u << 20}) {
+    for (uint64_t seed : {4ULL, 5ULL}) {
+      PageMap map;
+      std::unordered_map<PageId, uint64_t> ref;
+      Rng rng(seed);
+      for (int op = 0; op < 20'000; ++op) {
+        PageId key = static_cast<PageId>(rng.NextBounded(universe));
+        uint64_t roll = rng.NextBounded(4);
+        if (roll == 0) {
+          auto [v, inserted] = map.TryEmplace(key, static_cast<uint64_t>(op));
+          auto [it, ref_inserted] =
+              ref.try_emplace(key, static_cast<uint64_t>(op));
+          ASSERT_EQ(inserted, ref_inserted);
+          ASSERT_EQ(*v, it->second);
+        } else if (roll == 1) {
+          ASSERT_EQ(map.Erase(key), ref.erase(key) > 0);
+        } else {
+          uint64_t* v = map.Find(key);
+          auto it = ref.find(key);
+          ASSERT_EQ(v != nullptr, it != ref.end());
+          if (v != nullptr) {
+            ASSERT_EQ(*v, it->second);
+          }
+        }
+        ASSERT_EQ(map.size(), ref.size());
+      }
+      // Full sweep at the end: contents agree exactly.
+      std::unordered_map<PageId, uint64_t> seen;
+      map.ForEach([&seen](PageId k, uint64_t v) { seen.emplace(k, v); });
+      ASSERT_EQ(seen, ref);
+    }
+  }
+}
+
 TEST(FlatHashTest, PrefetchIsSafeAnywhere) {
   PageMap map;
   map.Prefetch(123);  // Empty table.
