@@ -14,7 +14,14 @@
 //   show NAME
 //       table shape and catalog statistics
 //   estimate NAME sigma buffer [sargable]
-//       Est-IO estimate from the catalog
+//       Est-IO estimate from the catalog. When the index's statistics are
+//       missing or quarantined the estimate degrades to the Yao/Cardenas
+//       formula and is flagged "(degraded)".
+//   save PATH
+//       write the statistics catalog (crash-safe: tmp + fsync + rename)
+//   load PATH
+//       recovering catalog load; prints the provenance report (entries
+//       loaded / quarantined, checksum failures)
 //   explain NAME lo hi buffer [sorted]
 //       enumerate optimizer plans (sigma from the histogram)
 //   run NAME lo hi buffer
@@ -78,9 +85,11 @@ class Shell {
     if (command == "estimate") return Estimate(args);
     if (command == "explain") return Explain(args);
     if (command == "run") return Run(args);
+    if (command == "save") return Save(args);
+    if (command == "load") return Load(args);
     if (command == "help") {
       std::cout << "commands: create gwl stats show estimate explain run "
-                   "quit\n";
+                   "save load quit\n";
       return Status::Ok();
     }
     return Status::InvalidArgument("unknown command '" + command +
@@ -210,6 +219,9 @@ class Shell {
         std::cout << " (" << knot.x << "," << knot.y << ")";
       }
       std::cout << '\n';
+    } else if (catalog_.stats().IsQuarantined(name + ".key")) {
+      std::cout << "  stats: QUARANTINED (" << stats.status().message()
+                << ") — rerun `stats " << name << "` to refresh\n";
     } else {
       std::cout << "  (no statistics collected yet)\n";
     }
@@ -224,13 +236,49 @@ class Shell {
           "usage: estimate NAME sigma buffer [sargable]");
     }
     args >> scan.sargable_selectivity;
-    EPFIS_ASSIGN_OR_RETURN(IndexStats stats,
-                           catalog_.stats().Get(name + ".key"));
-    // Validating entry point: a malformed spec (sigma outside [0, 1],
-    // buffer of 0 pages) prints an error instead of a silently clamped
-    // number.
-    EPFIS_ASSIGN_OR_RETURN(double fetches, EstIo::Estimate(stats, scan));
-    std::cout << "estimated fetches: " << fetches << '\n';
+    EPFIS_ASSIGN_OR_RETURN(Dataset * dataset, Find(name));
+    TableShape shape;
+    shape.table_pages = dataset->num_pages();
+    shape.table_records = dataset->num_records();
+    // Catalog-backed entry point with graceful degradation: missing or
+    // quarantined statistics fall back to the Yao/Cardenas formula (and
+    // the output says so) instead of failing the command; a malformed
+    // spec (sigma outside [0, 1], buffer of 0 pages) still prints an
+    // error instead of a silently clamped number.
+    EPFIS_ASSIGN_OR_RETURN(
+        CatalogEstimate est,
+        EstIo::EstimateFromCatalog(catalog_.stats(), name + ".key", scan,
+                                   shape));
+    std::cout << "estimated fetches: " << est.fetches;
+    if (est.source == EstimateSource::kFormulaFallback) {
+      std::cout << "  [DEGRADED: formula fallback — "
+                << est.stats_status.message() << "]";
+    }
+    std::cout << '\n';
+    return Status::Ok();
+  }
+
+  Status Save(std::istringstream& args) {
+    std::string path;
+    if (!(args >> path)) return Status::InvalidArgument("usage: save PATH");
+    EPFIS_RETURN_IF_ERROR(catalog_.stats().SaveToFile(path));
+    std::cout << "saved " << catalog_.stats().size() << " entries to "
+              << path << '\n';
+    return Status::Ok();
+  }
+
+  Status Load(std::istringstream& args) {
+    std::string path;
+    if (!(args >> path)) return Status::InvalidArgument("usage: load PATH");
+    EPFIS_ASSIGN_OR_RETURN(CatalogLoadReport report,
+                           catalog_.stats().RecoverFromFile(path));
+    std::cout << "loaded " << path << " (v" << report.format_version
+              << "): " << report.entries_loaded << " entries, "
+              << report.entries_quarantined << " quarantined ("
+              << report.checksum_failures << " checksum failures)\n";
+    for (const std::string& reason : report.quarantine_reasons) {
+      std::cout << "  quarantined: " << reason << '\n';
+    }
     return Status::Ok();
   }
 

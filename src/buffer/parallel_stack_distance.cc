@@ -9,6 +9,7 @@
 
 #include "buffer/stack_distance_kernel.h"
 #include "obs/metrics.h"
+#include "util/fault.h"
 #include "util/fenwick.h"
 #include "util/flat_hash.h"
 #include "util/thread_pool.h"
@@ -240,29 +241,58 @@ Result<StackDistanceHistogram> ComputeParallel(
   // number of in-flight shards so an unbounded source never accumulates
   // unprocessed raw trace in memory. The filter runs here, in the single
   // reader, so every shard agrees on the sampled subset by construction.
-  std::vector<std::future<ShardResult>> futures;
+  //
+  // Failure isolation: shard tasks return Result<ShardResult> — nothing
+  // propagates through future::get() as an exception. The reader records
+  // the first error, stops submitting new shards, and drains every
+  // in-flight future before returning, so no task ever outlives this call
+  // and a failed shard can never deadlock the bounded in-flight window.
+  std::vector<std::future<Result<ShardResult>>> futures;
   std::vector<ShardResult> results;
+  size_t drained = 0;  // futures[0, drained) have been collected.
+  Status first_error;
   const size_t max_in_flight = pool.num_threads() + 2;
   uint64_t total_refs = 0;    // References read from the source.
   uint64_t sampled_refs = 0;  // References that passed the filter.
   std::vector<PageId> raw(size_t{1} << 16);
   std::vector<PageId> shard;
   shard.reserve(shard_refs);
+  auto drain_one = [&] {
+    Result<ShardResult> r = futures[drained].get();
+    ++drained;
+    if (r.ok()) {
+      results.push_back(std::move(*r));
+    } else if (first_error.ok()) {
+      first_error = r.status();
+    }
+  };
   auto submit = [&] {
     uint64_t offset = sampled_refs - shard.size();
     futures.push_back(pool.Submit(
-        [shard = std::move(shard), offset]() mutable {
-          return ProcessShard(shard, offset);
+        [shard = std::move(shard), offset]() mutable -> Result<ShardResult> {
+          try {
+            EPFIS_RETURN_IF_ERROR(FaultPoint("sd.shard.task"));
+            return ProcessShard(shard, offset);
+          } catch (const std::exception& e) {
+            return Status::Internal(
+                std::string("stack distance shard failed: ") + e.what());
+          } catch (...) {
+            return Status::Internal("stack distance shard failed");
+          }
         }));
     shard = std::vector<PageId>();
     shard.reserve(shard_refs);
-    while (futures.size() - results.size() >= max_in_flight) {
-      results.push_back(futures[results.size()].get());
-    }
+    while (futures.size() - drained >= max_in_flight) drain_one();
   };
   PageSeenSet seen;
-  for (;;) {
-    EPFIS_ASSIGN_OR_RETURN(size_t n, trace.Next(raw.data(), raw.size()));
+  Status read_error;
+  while (first_error.ok()) {
+    Result<size_t> n_or = trace.Next(raw.data(), raw.size());
+    if (!n_or.ok()) {
+      read_error = n_or.status();
+      break;
+    }
+    size_t n = *n_or;
     if (n == 0) break;
     total_refs += n;
     for (size_t i = 0; i < n; ++i) {
@@ -275,7 +305,10 @@ Result<StackDistanceHistogram> ComputeParallel(
       if (shard.size() >= shard_refs) submit();
     }
   }
-  if (!shard.empty()) submit();
+  if (read_error.ok() && first_error.ok() && !shard.empty()) submit();
+  while (drained < futures.size()) drain_one();
+  if (!read_error.ok()) return read_error;
+  if (!first_error.ok()) return first_error;
   *total_refs_out = total_refs;
   *exact_distinct_out = filtered ? seen.distinct() : 0;
   if (total_refs == 0) {
@@ -284,14 +317,6 @@ Result<StackDistanceHistogram> ComputeParallel(
   if (sampled_refs == 0) {
     return Status::FailedPrecondition(
         "stack distance: sampling rate too low, no references sampled");
-  }
-  try {
-    while (results.size() < futures.size()) {
-      results.push_back(futures[results.size()].get());
-    }
-  } catch (const std::exception& e) {
-    return Status::Internal(std::string("stack distance shard failed: ") +
-                            e.what());
   }
 
   // Sequential merge pass, in shard order. Cost is proportional to the

@@ -1,12 +1,30 @@
 #include "catalog/stats_catalog.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 
+#include "util/crc32c.h"
+#include "util/fault.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define EPFIS_CATALOG_POSIX_IO 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace epfis {
 namespace {
+
+// v2 on-disk format markers (see the class comment in the header).
+constexpr const char* kCatalogHeaderV2 = "[epfis-stats-catalog-v2]";
+constexpr const char* kCatalogHeaderPrefix = "[epfis-stats-catalog-v";
+constexpr const char* kEntryOpen = "[index]";
+constexpr const char* kEntryCloseV1 = "[end]";
+constexpr const char* kEntryClosePrefix = "[end crc=";
 
 std::string FormatDouble(double v) {
   char buf[40];
@@ -14,15 +32,74 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+// Parses one `key=value` field line into `current`. Returns a non-empty
+// error description on failure.
+std::string ParseField(const std::string& line, IndexStats* current) {
+  size_t eq = line.find('=');
+  if (eq == std::string::npos) return "expected key=value";
+  std::string key = line.substr(0, eq);
+  std::string value = line.substr(eq + 1);
+  if (key == "name") {
+    current->index_name = value;
+  } else if (key == "table_pages") {
+    current->table_pages = std::strtoull(value.c_str(), nullptr, 10);
+  } else if (key == "table_records") {
+    current->table_records = std::strtoull(value.c_str(), nullptr, 10);
+  } else if (key == "distinct_keys") {
+    current->distinct_keys = std::strtoull(value.c_str(), nullptr, 10);
+  } else if (key == "pages_accessed") {
+    current->pages_accessed = std::strtoull(value.c_str(), nullptr, 10);
+  } else if (key == "b_min") {
+    current->b_min = std::strtoull(value.c_str(), nullptr, 10);
+  } else if (key == "b_max") {
+    current->b_max = std::strtoull(value.c_str(), nullptr, 10);
+  } else if (key == "f_min") {
+    current->f_min = std::strtoull(value.c_str(), nullptr, 10);
+  } else if (key == "clustering") {
+    current->clustering = std::strtod(value.c_str(), nullptr);
+  } else if (key == "sample_rate") {
+    // Absent in pre-sampling catalogs; the IndexStats default (1.0,
+    // exact) then applies.
+    current->sample_rate = std::strtod(value.c_str(), nullptr);
+  } else if (key == "sampled_refs") {
+    current->sampled_refs = std::strtoull(value.c_str(), nullptr, 10);
+  } else if (key == "knots") {
+    if (value.empty()) return "";
+    std::vector<Knot> knots;
+    std::istringstream ks(value);
+    std::string pair;
+    while (std::getline(ks, pair, ',')) {
+      size_t colon = pair.find(':');
+      if (colon == std::string::npos) return "bad knot pair";
+      Knot k;
+      k.x = std::strtod(pair.substr(0, colon).c_str(), nullptr);
+      k.y = std::strtod(pair.substr(colon + 1).c_str(), nullptr);
+      knots.push_back(k);
+    }
+    auto curve = PiecewiseLinear::FromKnots(std::move(knots));
+    if (!curve.ok()) return std::string(curve.status().message());
+    current->fpf = std::move(curve).value();
+  } else {
+    return "unknown field " + key;
+  }
+  return "";
+}
+
 }  // namespace
 
 void StatsCatalog::Put(IndexStats stats) {
   std::lock_guard<std::mutex> lock(mu_);
+  quarantined_.erase(stats.index_name);
   entries_[stats.index_name] = std::move(stats);
 }
 
 Result<IndexStats> StatsCatalog::Get(const std::string& index_name) const {
   std::lock_guard<std::mutex> lock(mu_);
+  auto q = quarantined_.find(index_name);
+  if (q != quarantined_.end()) {
+    return Status::Corruption("statistics for index " + index_name +
+                              " are quarantined: " + q->second);
+  }
   auto it = entries_.find(index_name);
   if (it == entries_.end()) {
     return Status::NotFound("no statistics for index " + index_name);
@@ -38,6 +115,7 @@ bool StatsCatalog::Contains(const std::string& index_name) const {
 void StatsCatalog::Remove(const std::string& index_name) {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.erase(index_name);
+  quarantined_.erase(index_name);
 }
 
 size_t StatsCatalog::size() const {
@@ -53,6 +131,19 @@ std::vector<std::string> StatsCatalog::IndexNames() const {
   return names;
 }
 
+bool StatsCatalog::IsQuarantined(const std::string& index_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_.count(index_name) > 0;
+}
+
+std::vector<std::string> StatsCatalog::QuarantinedNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(quarantined_.size());
+  for (const auto& [name, reason] : quarantined_) names.push_back(name);
+  return names;
+}
+
 std::string StatsCatalog::SaveToString() const {
   std::lock_guard<std::mutex> lock(mu_);
   return SaveToStringLocked();
@@ -60,138 +151,325 @@ std::string StatsCatalog::SaveToString() const {
 
 std::string StatsCatalog::SaveToStringLocked() const {
   std::ostringstream os;
+  os << kCatalogHeaderV2 << '\n';
   for (const auto& [name, s] : entries_) {
-    os << "[index]\n";
-    os << "name=" << name << '\n';
-    os << "table_pages=" << s.table_pages << '\n';
-    os << "table_records=" << s.table_records << '\n';
-    os << "distinct_keys=" << s.distinct_keys << '\n';
-    os << "pages_accessed=" << s.pages_accessed << '\n';
-    os << "b_min=" << s.b_min << '\n';
-    os << "b_max=" << s.b_max << '\n';
-    os << "f_min=" << s.f_min << '\n';
-    os << "clustering=" << FormatDouble(s.clustering) << '\n';
-    os << "sample_rate=" << FormatDouble(s.sample_rate) << '\n';
-    os << "sampled_refs=" << s.sampled_refs << '\n';
-    os << "knots=";
+    // The entry body is built separately so its CRC32C can go into the
+    // trailer; the checksum covers exactly the field lines (with their
+    // newlines), not the [index]/[end] frame.
+    std::ostringstream body;
+    body << "name=" << name << '\n';
+    body << "table_pages=" << s.table_pages << '\n';
+    body << "table_records=" << s.table_records << '\n';
+    body << "distinct_keys=" << s.distinct_keys << '\n';
+    body << "pages_accessed=" << s.pages_accessed << '\n';
+    body << "b_min=" << s.b_min << '\n';
+    body << "b_max=" << s.b_max << '\n';
+    body << "f_min=" << s.f_min << '\n';
+    body << "clustering=" << FormatDouble(s.clustering) << '\n';
+    body << "sample_rate=" << FormatDouble(s.sample_rate) << '\n';
+    body << "sampled_refs=" << s.sampled_refs << '\n';
+    body << "knots=";
     if (s.fpf.has_value()) {
       bool first = true;
       for (const Knot& k : s.fpf->knots()) {
-        if (!first) os << ',';
-        os << FormatDouble(k.x) << ':' << FormatDouble(k.y);
+        if (!first) body << ',';
+        body << FormatDouble(k.x) << ':' << FormatDouble(k.y);
         first = false;
       }
     }
-    os << '\n';
-    os << "[end]\n";
+    body << '\n';
+    std::string body_text = body.str();
+    char crc_hex[16];
+    std::snprintf(crc_hex, sizeof(crc_hex), "%08x", Crc32c(body_text));
+    os << kEntryOpen << '\n'
+       << body_text << kEntryClosePrefix << crc_hex << "]\n";
   }
   return os.str();
 }
 
 Status StatsCatalog::LoadFromString(const std::string& text) {
+  Result<CatalogLoadReport> report = LoadImpl(text, /*recover=*/false);
+  return report.ok() ? Status::Ok() : report.status();
+}
+
+Result<CatalogLoadReport> StatsCatalog::RecoverFromString(
+    const std::string& text) {
+  return LoadImpl(text, /*recover=*/true);
+}
+
+Result<CatalogLoadReport> StatsCatalog::LoadImpl(const std::string& text,
+                                                 bool recover) {
   std::map<std::string, IndexStats> loaded;
+  std::map<std::string, std::string> quarantined;
+  CatalogLoadReport report;
+  report.format_version = 1;
+
   std::istringstream is(text);
   std::string line;
   IndexStats current;
+  std::string body;        // Accumulated field lines of the open entry.
   bool in_entry = false;
+  bool entry_bad = false;  // Recovery: skip to the next [index].
+  bool saw_any_line = false;
   int line_no = 0;
-  auto parse_error = [&](const std::string& what) {
+
+  auto strict_error = [&](const std::string& what) {
     return Status::Corruption("stats catalog line " +
                               std::to_string(line_no) + ": " + what);
   };
+  // Handles one corrupt entry (or stray region): strict mode fails the
+  // load; recovery quarantines and resynchronizes at the next [index].
+  Status first_error;
+  auto entry_corrupt = [&](const std::string& what, bool checksum) {
+    if (!recover) {
+      if (first_error.ok()) first_error = strict_error(what);
+      return;
+    }
+    ++report.entries_quarantined;
+    if (checksum) ++report.checksum_failures;
+    std::string reason =
+        "line " + std::to_string(line_no) + ": " + what;
+    report.quarantine_reasons.push_back(reason);
+    if (!current.index_name.empty()) {
+      quarantined[current.index_name] = reason;
+    }
+    current = IndexStats{};
+    entry_bad = true;
+    in_entry = false;
+  };
 
-  while (std::getline(is, line)) {
+  while (first_error.ok() && std::getline(is, line)) {
     ++line_no;
     if (line.empty()) continue;
-    if (line == "[index]") {
-      if (in_entry) return parse_error("nested [index]");
-      current = IndexStats{};
-      in_entry = true;
+    // Version header (must be the first non-empty line to count).
+    if (!saw_any_line && line.rfind(kCatalogHeaderPrefix, 0) == 0) {
+      saw_any_line = true;
+      if (line != kCatalogHeaderV2) {
+        // A version this build does not know cannot be safely skimmed
+        // for "good" entries; fail even in recovery.
+        return Status::Corruption("stats catalog: unsupported version " +
+                                  line);
+      }
+      report.format_version = 2;
       continue;
     }
-    if (line == "[end]") {
-      if (!in_entry) return parse_error("[end] without [index]");
-      if (current.index_name.empty()) return parse_error("entry without name");
+    saw_any_line = true;
+    if (line == kEntryOpen) {
+      if (in_entry) {
+        entry_corrupt("nested [index]", /*checksum=*/false);
+        if (!first_error.ok()) break;
+      }
+      current = IndexStats{};
+      body.clear();
+      in_entry = true;
+      entry_bad = false;
+      continue;
+    }
+    if (entry_bad) continue;  // Resynchronizing after a corrupt entry.
+    bool close_v1 = line == kEntryCloseV1;
+    bool close_v2 = line.rfind(kEntryClosePrefix, 0) == 0 &&
+                    line.size() == std::strlen(kEntryClosePrefix) + 9 &&
+                    line.back() == ']';
+    if (close_v1 || close_v2) {
+      if (!in_entry) {
+        entry_corrupt("[end] without [index]", /*checksum=*/false);
+        continue;
+      }
+      if (close_v2) {
+        uint32_t stored = static_cast<uint32_t>(std::strtoul(
+            line.c_str() + std::strlen(kEntryClosePrefix), nullptr, 16));
+        if (stored != Crc32c(body)) {
+          entry_corrupt("entry checksum mismatch", /*checksum=*/true);
+          continue;
+        }
+      } else if (report.format_version >= 2) {
+        // A v2 file whose entry lost its checksum trailer is a torn
+        // write, not a legacy file.
+        entry_corrupt("entry missing checksum", /*checksum=*/false);
+        continue;
+      }
+      if (current.index_name.empty()) {
+        entry_corrupt("entry without name", /*checksum=*/false);
+        continue;
+      }
       loaded[current.index_name] = std::move(current);
+      ++report.entries_loaded;
+      current = IndexStats{};
       in_entry = false;
       continue;
     }
-    if (!in_entry) return parse_error("field outside [index] block");
-    size_t eq = line.find('=');
-    if (eq == std::string::npos) return parse_error("expected key=value");
-    std::string key = line.substr(0, eq);
-    std::string value = line.substr(eq + 1);
-    if (key == "name") {
-      current.index_name = value;
-    } else if (key == "table_pages") {
-      current.table_pages = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (key == "table_records") {
-      current.table_records = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (key == "distinct_keys") {
-      current.distinct_keys = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (key == "pages_accessed") {
-      current.pages_accessed = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (key == "b_min") {
-      current.b_min = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (key == "b_max") {
-      current.b_max = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (key == "f_min") {
-      current.f_min = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (key == "clustering") {
-      current.clustering = std::strtod(value.c_str(), nullptr);
-    } else if (key == "sample_rate") {
-      // Absent in pre-sampling catalogs; the IndexStats default (1.0,
-      // exact) then applies.
-      current.sample_rate = std::strtod(value.c_str(), nullptr);
-    } else if (key == "sampled_refs") {
-      current.sampled_refs = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (key == "knots") {
-      if (value.empty()) continue;
-      std::vector<Knot> knots;
-      std::istringstream ks(value);
-      std::string pair;
-      while (std::getline(ks, pair, ',')) {
-        size_t colon = pair.find(':');
-        if (colon == std::string::npos) return parse_error("bad knot pair");
-        Knot k;
-        k.x = std::strtod(pair.substr(0, colon).c_str(), nullptr);
-        k.y = std::strtod(pair.substr(colon + 1).c_str(), nullptr);
-        knots.push_back(k);
-      }
-      auto curve = PiecewiseLinear::FromKnots(std::move(knots));
-      if (!curve.ok()) return parse_error(curve.status().message());
-      current.fpf = std::move(curve).value();
-    } else {
-      return parse_error("unknown field " + key);
+    if (!in_entry) {
+      entry_corrupt("field outside [index] block", /*checksum=*/false);
+      continue;
+    }
+    body.append(line);
+    body.push_back('\n');
+    std::string field_error = ParseField(line, &current);
+    if (!field_error.empty()) {
+      entry_corrupt(field_error, /*checksum=*/false);
+      continue;
     }
   }
-  if (in_entry) return Status::Corruption("stats catalog: unterminated entry");
+  if (!first_error.ok()) return first_error;
+  if (in_entry) {
+    // A torn tail: the file ends inside an entry.
+    if (!recover) return Status::Corruption("stats catalog: unterminated entry");
+    ++line_no;
+    entry_corrupt("unterminated entry (torn write?)", /*checksum=*/false);
+  }
+
+  // An index that appears both good and quarantined (duplicate entries)
+  // is distrusted entirely: the copies disagree about integrity and we
+  // cannot tell which one the writer meant.
+  for (const auto& [name, reason] : quarantined) {
+    auto it = loaded.find(name);
+    if (it != loaded.end()) {
+      loaded.erase(it);
+      --report.entries_loaded;
+    }
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   entries_ = std::move(loaded);
+  quarantined_ = std::move(quarantined);
+  return report;
+}
+
+#ifdef EPFIS_CATALOG_POSIX_IO
+
+Status StatsCatalog::SaveToFile(const std::string& path) const {
+  // Serialize before touching the filesystem so a slow disk never holds
+  // the catalog mutex.
+  std::string data = SaveToString();
+  const std::string tmp = path + ".tmp";
+
+  // Crash safety: never truncate the destination in place. The new
+  // catalog is staged in a tmp file, made durable with fsync, and
+  // atomically renamed over the old one — a failure (or injected fault)
+  // at any step leaves the previous on-disk catalog intact, and the tmp
+  // file is always unlinked on the error paths.
+  Status open_fault = FaultPoint("catalog.save.open");
+  int fd = -1;
+  if (open_fault.ok()) {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  }
+  if (!open_fault.ok() || fd < 0) {
+    return open_fault.ok()
+               ? Status::IoError("cannot open " + tmp + " for writing")
+               : open_fault;
+  }
+  auto fail = [&](Status status) {
+    if (fd >= 0) ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  };
+
+  size_t off = 0;
+  int eintr_budget = 100;
+  while (off < data.size()) {
+    uint64_t want = data.size() - off;
+    FaultIoOutcome fault = FaultIoPoint("catalog.save.write", &want);
+    if (!fault.status.ok()) return fail(fault.status);
+    ssize_t n = fault.eintr
+                    ? -1
+                    : ::write(fd, data.data() + off,
+                              static_cast<size_t>(want));
+    if (n < 0) {
+      if ((fault.eintr || errno == EINTR) && --eintr_budget > 0) continue;
+      return fail(Status::IoError("write to " + tmp + " failed"));
+    }
+    off += static_cast<size_t>(n);
+  }
+
+  EPFIS_RETURN_IF_ERROR([&] {
+    Status fault = FaultPoint("catalog.save.fsync");
+    if (!fault.ok()) return fail(fault);
+    if (::fsync(fd) != 0) {
+      return fail(Status::IoError("fsync of " + tmp + " failed"));
+    }
+    if (::close(fd) != 0) {
+      fd = -1;
+      return fail(Status::IoError("close of " + tmp + " failed"));
+    }
+    fd = -1;
+    return Status::Ok();
+  }());
+
+  Status rename_fault = FaultPoint("catalog.save.rename");
+  if (!rename_fault.ok()) return fail(rename_fault);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail(Status::IoError("rename " + tmp + " -> " + path + " failed"));
+  }
   return Status::Ok();
 }
 
+#else  // !EPFIS_CATALOG_POSIX_IO
+
 Status StatsCatalog::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  // Portable fallback: still staged through a tmp file and renamed so the
+  // previous catalog survives a failed write, but without fsync
+  // durability.
+  std::string data = SaveToString();
+  const std::string tmp = path + ".tmp";
+  EPFIS_RETURN_IF_ERROR(FaultPoint("catalog.save.open"));
+  std::ofstream out(tmp, std::ios::out | std::ios::trunc);
   if (!out.is_open()) {
-    return Status::IoError("cannot open " + path + " for writing");
+    return Status::IoError("cannot open " + tmp + " for writing");
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    out << SaveToStringLocked();
+  auto fail = [&](Status status) {
+    out.close();
+    std::remove(tmp.c_str());
+    return status;
+  };
+  uint64_t want = data.size();
+  FaultIoOutcome fault = FaultIoPoint("catalog.save.write", &want);
+  if (!fault.status.ok()) return fail(fault.status);
+  out << data;
+  out.flush();
+  if (!out.good()) return fail(Status::IoError("write to " + tmp + " failed"));
+  EPFIS_RETURN_IF_ERROR([&] {
+    Status fsync_fault = FaultPoint("catalog.save.fsync");
+    return fsync_fault.ok() ? Status::Ok() : fail(fsync_fault);
+  }());
+  out.close();
+  Status rename_fault = FaultPoint("catalog.save.rename");
+  if (!rename_fault.ok()) return fail(rename_fault);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail(Status::IoError("rename " + tmp + " -> " + path + " failed"));
   }
-  return out.good() ? Status::Ok()
-                    : Status::IoError("write to " + path + " failed");
+  return Status::Ok();
 }
 
-Status StatsCatalog::LoadFromFile(const std::string& path) {
+#endif  // EPFIS_CATALOG_POSIX_IO
+
+namespace {
+
+// Shared file slurp for the strict and recovering loads, with the
+// catalog.load.* fault points applied.
+Result<std::string> ReadCatalogFile(const std::string& path) {
+  EPFIS_RETURN_IF_ERROR(FaultPoint("catalog.load.open"));
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::IoError("cannot open " + path + " for reading");
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return LoadFromString(buf.str());
+  if (in.bad()) return Status::IoError("read of " + path + " failed");
+  EPFIS_RETURN_IF_ERROR(FaultPoint("catalog.load.read"));
+  return buf.str();
+}
+
+}  // namespace
+
+Status StatsCatalog::LoadFromFile(const std::string& path) {
+  EPFIS_ASSIGN_OR_RETURN(std::string text, ReadCatalogFile(path));
+  return LoadFromString(text);
+}
+
+Result<CatalogLoadReport> StatsCatalog::RecoverFromFile(
+    const std::string& path) {
+  EPFIS_ASSIGN_OR_RETURN(std::string text, ReadCatalogFile(path));
+  return RecoverFromString(text);
 }
 
 }  // namespace epfis

@@ -11,6 +11,22 @@
 
 namespace epfis {
 
+/// Outcome of a recovering catalog load: how many entries survived, how
+/// many were quarantined, and why. Printed by the shell's `load` command
+/// and consumed by operators deciding whether to trigger a statistics
+/// refresh for the quarantined indexes.
+struct CatalogLoadReport {
+  /// On-disk format version of the file (1 = pre-checksum, 2 = current).
+  int format_version = 0;
+  size_t entries_loaded = 0;
+  size_t entries_quarantined = 0;
+  /// Of the quarantined entries, how many failed their CRC32C check (the
+  /// rest were structurally unparsable).
+  size_t checksum_failures = 0;
+  /// One human-readable reason per quarantined entry, in file order.
+  std::vector<std::string> quarantine_reasons;
+};
+
 /// The statistics side of the system catalog: one IndexStats entry per
 /// index, written by LRU-Fit at statistics-collection time and read by
 /// Est-IO during query compilation (§4: "This coordinate information can be
@@ -21,15 +37,37 @@ namespace epfis {
 /// read them. Get returns a copy, never a reference into the map.
 ///
 /// Entries round-trip through a line-oriented text format so statistics
-/// survive process restarts (SaveToFile / LoadFromFile).
+/// survive process restarts. The on-disk format is versioned:
+///
+///   v2 (written)  — a `[epfis-stats-catalog-v2]` header line, then per
+///                   entry `[index]`, `key=value` fields, and an
+///                   `[end crc=XXXXXXXX]` trailer whose CRC32C covers the
+///                   field lines, so torn writes and bit rot are detected
+///                   per entry instead of silently poisoning estimates.
+///   v1 (read)     — the pre-checksum format: no header, plain `[end]`
+///                   trailers. Still loads, with no integrity check.
+///
+/// SaveToFile is crash-safe: the catalog is written to `path + ".tmp"`,
+/// fsynced, and renamed over `path`, so a failure at any step leaves the
+/// previous on-disk catalog intact (and no stale tmp file behind). All
+/// file operations carry `catalog.*` fault-injection points (util/fault.h).
+///
+/// Corrupt entries can be *quarantined* instead of failing the whole
+/// load (RecoverFromFile): good entries load, bad ones are remembered by
+/// name, and Get on a quarantined index fails with Corruption — the
+/// signal Est-IO's degraded mode uses to fall back to the formula
+/// estimate instead of trusting a half-parsed curve.
 class StatsCatalog {
  public:
   StatsCatalog() = default;
 
-  /// Inserts or replaces the entry for `stats.index_name`.
+  /// Inserts or replaces the entry for `stats.index_name` (clearing any
+  /// quarantine mark it carried).
   void Put(IndexStats stats);
 
-  /// Fails with NotFound if the index has no statistics.
+  /// Fails with NotFound if the index has no statistics, and with
+  /// Corruption if its on-disk entry was quarantined by a recovering
+  /// load (the stats exist but cannot be trusted).
   Result<IndexStats> Get(const std::string& index_name) const;
 
   bool Contains(const std::string& index_name) const;
@@ -39,20 +77,44 @@ class StatsCatalog {
   /// Names of all indexes with statistics, sorted.
   std::vector<std::string> IndexNames() const;
 
-  /// Serializes every entry to the text format.
+  /// Whether a recovering load quarantined this index's entry.
+  bool IsQuarantined(const std::string& index_name) const;
+
+  /// Names of all quarantined indexes, sorted.
+  std::vector<std::string> QuarantinedNames() const;
+
+  /// Serializes every entry to the v2 text format.
   std::string SaveToString() const;
 
-  /// Parses entries from the text format, replacing current contents.
+  /// Parses entries from the text format (v1 or v2), replacing current
+  /// contents. Strict: any corrupt entry fails the whole load with
+  /// Corruption and leaves the catalog unchanged.
   Status LoadFromString(const std::string& text);
 
+  /// Recovery mode: loads every parsable entry, quarantines the corrupt
+  /// ones (checksum mismatch, truncation, unparsable fields), and reports
+  /// what happened. The catalog is replaced by the surviving entries plus
+  /// the quarantine set. Fails only when the text is not a stats catalog
+  /// at all (bad version header).
+  Result<CatalogLoadReport> RecoverFromString(const std::string& text);
+
+  /// Atomic, durable save: tmp file + fsync + rename (see class comment).
   Status SaveToFile(const std::string& path) const;
+
+  /// Strict load; Corruption on the first bad entry.
   Status LoadFromFile(const std::string& path);
+
+  /// Recovering load (see RecoverFromString).
+  Result<CatalogLoadReport> RecoverFromFile(const std::string& path);
 
  private:
   std::string SaveToStringLocked() const;
+  Result<CatalogLoadReport> LoadImpl(const std::string& text, bool recover);
 
   mutable std::mutex mu_;
   std::map<std::string, IndexStats> entries_;  // Guarded by mu_.
+  // index name -> why its entry was quarantined. Guarded by mu_.
+  std::map<std::string, std::string> quarantined_;
 };
 
 }  // namespace epfis

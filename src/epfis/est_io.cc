@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "catalog/stats_catalog.h"
 #include "obs/metrics.h"
+#include "util/fault.h"
 #include "util/formulas.h"
 
 namespace epfis {
@@ -19,6 +21,7 @@ struct EstIoMetrics {
   Counter correction_applied;
   Counter sargable_reductions;
   Counter clamped;
+  Counter degraded;
 
   static EstIoMetrics& Get() {
     static EstIoMetrics* metrics = [] {
@@ -32,17 +35,15 @@ struct EstIoMetrics {
       m->sargable_reductions =
           registry.GetCounter("est_io.sargable_reductions");
       m->clamped = registry.GetCounter("est_io.clamped_at_qualifying");
+      m->degraded = registry.GetCounter("est_io.degraded");
       return m;
     }();
     return *metrics;
   }
 };
 
-}  // namespace
-
-Result<double> EstIo::Estimate(const IndexStats& stats, const ScanSpec& scan,
-                               const EstIoOptions& options) {
-  // Written so NaN fails every check (NaN comparisons are false).
+// Written so NaN fails every check (NaN comparisons are false).
+Status ValidateScanSpec(const ScanSpec& scan) {
   if (!(scan.sigma >= 0.0 && scan.sigma <= 1.0)) {
     EstIoMetrics::Get().rejected.Increment();
     return Status::InvalidArgument("Est-IO: sigma must be in [0, 1]");
@@ -57,7 +58,62 @@ Result<double> EstIo::Estimate(const IndexStats& stats, const ScanSpec& scan,
     EstIoMetrics::Get().rejected.Increment();
     return Status::InvalidArgument("Est-IO: buffer_pages must be >= 1");
   }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<double> EstIo::Estimate(const IndexStats& stats, const ScanSpec& scan,
+                               const EstIoOptions& options) {
+  EPFIS_RETURN_IF_ERROR(ValidateScanSpec(scan));
   return EstimatePageFetches(stats, scan, options);
+}
+
+Result<CatalogEstimate> EstIo::EstimateFromCatalog(
+    const StatsCatalog& catalog, const std::string& index_name,
+    const ScanSpec& scan, const TableShape& shape,
+    const EstIoOptions& options) {
+  EPFIS_RETURN_IF_ERROR(ValidateScanSpec(scan));
+  // The fault point feeds the injected status through the same switch as
+  // a real catalog miss, so degraded mode can be drilled without first
+  // corrupting a file on disk.
+  Status lookup_fault = FaultPoint("est_io.lookup");
+  Result<IndexStats> stats =
+      lookup_fault.ok() ? catalog.Get(index_name) : Result<IndexStats>(lookup_fault);
+  if (stats.ok()) {
+    CatalogEstimate out;
+    out.fetches = EstimatePageFetches(*stats, scan, options);
+    out.source = EstimateSource::kLruFitCurve;
+    return out;
+  }
+  StatusCode code = stats.status().code();
+  if (code != StatusCode::kNotFound && code != StatusCode::kCorruption) {
+    // Not a "statistics unavailable" condition — an I/O or internal
+    // error deserves to surface, not to be papered over with a formula.
+    return stats.status();
+  }
+  EstIoMetrics::Get().degraded.Increment();
+
+  // Degraded mode: no trusted FPF curve, so fall back to the classical
+  // uniform-access estimates over the coarse table shape. k qualifying
+  // records touch at most k pages; Yao's without-replacement model is the
+  // better fit when the record count is known, Cardenas otherwise.
+  double t = static_cast<double>(shape.table_pages);
+  double n = static_cast<double>(shape.table_records);
+  double k = scan.sigma * scan.sargable_selectivity * n;
+  double estimate;
+  if (t < 1.0) {
+    estimate = k;  // Shape unknown too: records is the only upper bound.
+  } else if (n >= 1.0) {
+    estimate = YaoPages(n, t, k);
+  } else {
+    estimate = CardenasPages(t, k);
+  }
+  CatalogEstimate out;
+  out.fetches = Clamp(estimate, 0.0, std::max(k, 0.0));
+  out.source = EstimateSource::kFormulaFallback;
+  out.stats_status = stats.status();
+  return out;
 }
 
 Result<double> EstIo::EstimateFullScan(const IndexStats& stats,

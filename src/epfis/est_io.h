@@ -2,11 +2,14 @@
 #define EPFIS_EPFIS_EST_IO_H_
 
 #include <cstdint>
+#include <string>
 
 #include "epfis/index_stats.h"
 #include "util/result.h"
 
 namespace epfis {
+
+class StatsCatalog;
 
 /// Interpretation of phi in the small-selectivity correction (§4.2).
 enum class PhiMode {
@@ -40,6 +43,37 @@ struct ScanSpec {
   uint64_t buffer_pages = 0;
 };
 
+/// Where a catalog-backed estimate came from — the provenance the
+/// optimizer (and the shell's `estimate` command) surfaces so a degraded
+/// number is never mistaken for a modeled one.
+enum class EstimateSource {
+  /// The full LRU-Fit FPF model from the catalog entry.
+  kLruFitCurve,
+  /// Degraded mode: the index's statistics were missing or quarantined,
+  /// so the estimate comes from the classical Yao/Cardenas formulas over
+  /// the coarse table shape. Coarser (no buffer-size dependence, no
+  /// clustering), but never blocks compilation on a corrupt catalog.
+  kFormulaFallback,
+};
+
+/// Coarse physical description of the scanned table, used only when the
+/// catalog cannot supply trusted statistics. The optimizer always knows
+/// these two numbers from the base-table entry even when the per-index
+/// statistics are gone.
+struct TableShape {
+  uint64_t table_pages = 0;
+  uint64_t table_records = 0;
+};
+
+/// A catalog-backed estimate plus its provenance.
+struct CatalogEstimate {
+  double fetches = 0.0;
+  EstimateSource source = EstimateSource::kLruFitCurve;
+  /// Why the fallback fired (NotFound / Corruption); Ok when the full
+  /// model was used.
+  Status stats_status = Status::Ok();
+};
+
 /// Validating entry points for Subprogram Est-IO. These are the preferred
 /// API for optimizer integration: malformed scan specifications are
 /// rejected with InvalidArgument instead of being silently clamped into
@@ -56,6 +90,19 @@ struct EstIo {
   /// Validated EstimateFullScanFetches; rejects `buffer_pages == 0`.
   static Result<double> EstimateFullScan(const IndexStats& stats,
                                          uint64_t buffer_pages);
+
+  /// Catalog-backed estimate with graceful degradation. Looks up
+  /// `index_name` in the catalog and runs the full Estimate when trusted
+  /// statistics exist. When the entry is missing (NotFound) or was
+  /// quarantined by a recovering load (Corruption), falls back to the
+  /// Yao/Cardenas formula over `shape` instead of failing the
+  /// compilation, marks the result kFormulaFallback, and bumps the
+  /// `est_io.degraded` counter. Scan-spec validation errors and
+  /// unexpected catalog errors still fail.
+  static Result<CatalogEstimate> EstimateFromCatalog(
+      const StatsCatalog& catalog, const std::string& index_name,
+      const ScanSpec& scan, const TableShape& shape,
+      const EstIoOptions& options = {});
 };
 
 /// Subprogram Est-IO (§4.2): estimates the number of data-page fetches for

@@ -8,6 +8,7 @@
 #include "buffer/parallel_stack_distance.h"
 #include "catalog/stats_catalog.h"
 #include "obs/metrics.h"
+#include "util/fault.h"
 #include "util/formulas.h"
 #include "util/thread_pool.h"
 
@@ -203,18 +204,33 @@ LruFitBatchResult RunLruFitBatch(std::vector<LruFitJob> jobs,
   futures.reserve(jobs.size());
   for (LruFitJob& job : jobs) {
     futures.push_back(pool.Submit([&job, catalog]() -> Status {
-      if (job.trace == nullptr) {
-        return Status::InvalidArgument("LRU-Fit batch: job has no trace");
+      // Failure isolation: whatever happens inside one job — an injected
+      // fault, a bad trace, even an exception from a misbehaving
+      // TraceSource — becomes that job's Status. Nothing may escape the
+      // lambda, or future::get() would rethrow and abort the whole batch
+      // drain.
+      try {
+        EPFIS_RETURN_IF_ERROR(FaultPoint("lru_fit.batch.job"));
+        if (job.trace == nullptr) {
+          return Status::InvalidArgument("LRU-Fit batch: job has no trace");
+        }
+        LruFitOptions options = job.options;
+        options.pool = nullptr;  // Jobs must not re-enter the batch pool.
+        auto stats = RunLruFit(*job.trace, job.table_pages, job.distinct_keys,
+                               job.index_name, options);
+        if (!stats.ok()) return stats.status();
+        if (catalog != nullptr) catalog->Put(std::move(stats).value());
+        return Status::Ok();
+      } catch (const std::exception& e) {
+        return Status::Internal(std::string("LRU-Fit batch: job threw: ") +
+                                e.what());
+      } catch (...) {
+        return Status::Internal("LRU-Fit batch: job threw");
       }
-      LruFitOptions options = job.options;
-      options.pool = nullptr;  // Jobs must not re-enter the batch pool.
-      auto stats = RunLruFit(*job.trace, job.table_pages, job.distinct_keys,
-                             job.index_name, options);
-      if (!stats.ok()) return stats.status();
-      if (catalog != nullptr) catalog->Put(std::move(stats).value());
-      return Status::Ok();
     }));
   }
+  // Always drain every future — even after failures — so no task is left
+  // running against a destroyed LruFitJob.
   for (size_t i = 0; i < futures.size(); ++i) {
     batch.statuses[i] = futures[i].get();
     if (batch.statuses[i].ok()) ++batch.num_ok;

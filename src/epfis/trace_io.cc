@@ -1,14 +1,30 @@
 #include "epfis/trace_io.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+
+#include "util/fault.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define EPFIS_TRACE_POSIX_IO 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace epfis {
 namespace {
 
 constexpr const char* kPageMagic = kPageTraceMagic;
 constexpr char kKeyPageMagic[8] = {'E', 'P', 'K', 'T', 'R', 'C', '0', '1'};
+
+// How many consecutive interrupted reads we tolerate before giving up.
+// Real EINTR storms resolve in a handful of retries; the bound exists so
+// an injected `eintr` schedule (or a pathological signal load) turns into
+// a clean IoError instead of an unbounded spin.
+constexpr int kEintrBudget = 100;
 
 Status WriteHeader(std::ofstream& out, const char* magic, uint64_t count) {
   out.write(magic, 8);
@@ -17,6 +33,7 @@ Status WriteHeader(std::ofstream& out, const char* magic, uint64_t count) {
 }
 
 Status ReadHeader(std::ifstream& in, const char* magic, uint64_t* count) {
+  EPFIS_RETURN_IF_ERROR(FaultPoint("trace.read.header"));
   char buf[8];
   in.read(buf, 8);
   if (!in.good() || std::memcmp(buf, magic, 8) != 0) {
@@ -27,63 +44,162 @@ Status ReadHeader(std::ifstream& in, const char* magic, uint64_t* count) {
   return Status::Ok();
 }
 
+Status WriteBody(std::ofstream& out, const void* data, size_t len,
+                 const std::string& path) {
+  uint64_t want = len;
+  FaultIoOutcome fault = FaultIoPoint("trace.save.write", &want);
+  if (!fault.status.ok()) return fault.status;
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(len));
+  if (!out.good()) return Status::IoError("trace write to " + path + " failed");
+  return Status::Ok();
+}
+
 }  // namespace
 
-Status SavePageTrace(const std::vector<PageId>& trace,
-                     const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) return Status::IoError("cannot open " + path);
-  EPFIS_RETURN_IF_ERROR(WriteHeader(out, kPageMagic, trace.size()));
-  if (!trace.empty()) {
-    out.write(reinterpret_cast<const char*>(trace.data()),
-              static_cast<std::streamsize>(trace.size() * sizeof(PageId)));
-  }
-  return out.good() ? Status::Ok() : Status::IoError("trace write failed");
-}
+// ---------------------------------------------------------------------------
+// PageTraceReader::Impl — raw-descriptor backend with EINTR retry and
+// short-read continuation.
+// ---------------------------------------------------------------------------
 
-Result<std::vector<PageId>> LoadPageTrace(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::IoError("cannot open " + path);
-  uint64_t count = 0;
-  EPFIS_RETURN_IF_ERROR(ReadHeader(in, kPageMagic, &count));
-  std::vector<PageId> trace(count);
-  if (count > 0) {
-    in.read(reinterpret_cast<char*>(trace.data()),
-            static_cast<std::streamsize>(count * sizeof(PageId)));
-    if (!in.good()) return Status::Corruption("trace file: truncated body");
+class PageTraceReader::Impl {
+ public:
+  static Result<std::unique_ptr<Impl>> Open(const std::string& path) {
+    EPFIS_RETURN_IF_ERROR(FaultPoint("trace.open"));
+    auto impl = std::unique_ptr<Impl>(new Impl);
+    impl->path_ = path;
+#ifdef EPFIS_TRACE_POSIX_IO
+    impl->fd_ = ::open(path.c_str(), O_RDONLY);
+    if (impl->fd_ < 0) return Status::IoError("cannot open " + path);
+#else
+    impl->file_ = std::fopen(path.c_str(), "rb");
+    if (impl->file_ == nullptr) return Status::IoError("cannot open " + path);
+#endif
+    return impl;
   }
-  // Exactly at EOF?
-  in.peek();
-  if (!in.eof()) return Status::Corruption("trace file: trailing bytes");
-  return trace;
-}
 
-PageTraceReader::PageTraceReader(std::ifstream in, uint64_t count)
-    : in_(std::move(in)), count_(count) {}
+  ~Impl() {
+#ifdef EPFIS_TRACE_POSIX_IO
+    if (fd_ >= 0) ::close(fd_);
+#else
+    if (file_ != nullptr) std::fclose(file_);
+#endif
+  }
+
+  Impl(const Impl&) = delete;
+  Impl& operator=(const Impl&) = delete;
+
+  /// Reads until `len` bytes arrive or EOF, retrying interrupted calls and
+  /// continuing after short reads. Returns the bytes actually read (< len
+  /// only at EOF). `point` names the fault-injection point consulted
+  /// before every underlying read.
+  Result<size_t> ReadFull(void* buffer, size_t len, const char* point) {
+    char* out = static_cast<char*>(buffer);
+    size_t got = 0;
+    int eintr_budget = kEintrBudget;
+    while (got < len) {
+      uint64_t want = len - got;
+      FaultIoOutcome fault = FaultIoPoint(point, &want);
+      if (!fault.status.ok()) return fault.status;
+      if (fault.eintr) {
+        // Injected interrupted syscall: consume retry budget without
+        // touching the descriptor, exactly like the errno path below.
+        if (--eintr_budget <= 0) {
+          return Status::IoError("read of " + path_ +
+                                 " interrupted too many times");
+        }
+        continue;
+      }
+#ifdef EPFIS_TRACE_POSIX_IO
+      ssize_t n = ::read(fd_, out + got, static_cast<size_t>(want));
+      if (n < 0) {
+        if (errno == EINTR && --eintr_budget > 0) continue;
+        return Status::IoError("read of " + path_ + " failed");
+      }
+      if (n == 0) break;  // EOF.
+      got += static_cast<size_t>(n);
+#else
+      size_t n = std::fread(out + got, 1, static_cast<size_t>(want), file_);
+      if (n == 0) {
+        if (std::ferror(file_)) {
+          return Status::IoError("read of " + path_ + " failed");
+        }
+        break;  // EOF.
+      }
+      got += n;
+#endif
+    }
+    return got;
+  }
+
+  Status Seek(uint64_t offset) {
+#ifdef EPFIS_TRACE_POSIX_IO
+    if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
+      return Status::IoError("trace file: rewind failed");
+    }
+#else
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IoError("trace file: rewind failed");
+    }
+#endif
+    return Status::Ok();
+  }
+
+ private:
+  Impl() = default;
+
+  std::string path_;
+#ifdef EPFIS_TRACE_POSIX_IO
+  int fd_ = -1;
+#else
+  std::FILE* file_ = nullptr;
+#endif
+};
+
+PageTraceReader::PageTraceReader(std::unique_ptr<Impl> impl, uint64_t count)
+    : impl_(std::move(impl)), count_(count) {}
+
+PageTraceReader::PageTraceReader(PageTraceReader&&) noexcept = default;
+PageTraceReader& PageTraceReader::operator=(PageTraceReader&&) noexcept =
+    default;
+PageTraceReader::~PageTraceReader() = default;
 
 Result<PageTraceReader> PageTraceReader::Open(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  EPFIS_ASSIGN_OR_RETURN(std::unique_ptr<Impl> impl, Impl::Open(path));
+  char header[kPageTraceHeaderSize];
+  EPFIS_ASSIGN_OR_RETURN(
+      size_t got, impl->ReadFull(header, sizeof(header), "trace.read.header"));
+  // Taxonomy shared with MmapTraceSource: a file too short to hold the 8
+  // magic bytes (or holding the wrong ones) is "bad magic"; a good magic
+  // with a truncated count is "truncated header".
+  if (got < 8 || std::memcmp(header, kPageMagic, 8) != 0) {
+    return Status::Corruption("trace file: bad magic");
+  }
+  if (got < sizeof(header)) {
+    return Status::Corruption("trace file: truncated header");
+  }
   uint64_t count = 0;
-  EPFIS_RETURN_IF_ERROR(ReadHeader(in, kPageMagic, &count));
-  return PageTraceReader(std::move(in), count);
+  std::memcpy(&count, header + 8, sizeof(count));
+  return PageTraceReader(std::move(impl), count);
 }
 
 Result<size_t> PageTraceReader::Read(PageId* buffer, size_t capacity) {
   if (consumed_ >= count_ || capacity == 0) {
     if (consumed_ >= count_ && capacity > 0) {
       // Exhausted: the body must end exactly here.
-      in_.peek();
-      if (!in_.eof()) return Status::Corruption("trace file: trailing bytes");
+      char extra;
+      EPFIS_ASSIGN_OR_RETURN(
+          size_t got, impl_->ReadFull(&extra, 1, "trace.read.body"));
+      if (got != 0) return Status::Corruption("trace file: trailing bytes");
     }
     return size_t{0};
   }
   uint64_t want64 = std::min<uint64_t>(capacity, count_ - consumed_);
   size_t want = static_cast<size_t>(want64);
-  in_.read(reinterpret_cast<char*>(buffer),
-           static_cast<std::streamsize>(want * sizeof(PageId)));
-  if (!in_.good() &&
-      static_cast<size_t>(in_.gcount()) != want * sizeof(PageId)) {
+  EPFIS_ASSIGN_OR_RETURN(
+      size_t got, impl_->ReadFull(buffer, want * sizeof(PageId),
+                                  "trace.read.body"));
+  if (got != want * sizeof(PageId)) {
     return Status::Corruption("trace file: truncated body");
   }
   consumed_ += want;
@@ -91,33 +207,74 @@ Result<size_t> PageTraceReader::Read(PageId* buffer, size_t capacity) {
 }
 
 Status PageTraceReader::Reset() {
-  in_.clear();
-  in_.seekg(static_cast<std::streamoff>(8 + sizeof(uint64_t)),
-            std::ios::beg);
-  if (!in_.good()) return Status::IoError("trace file: rewind failed");
+  EPFIS_RETURN_IF_ERROR(impl_->Seek(kPageTraceHeaderSize));
   consumed_ = 0;
   return Status::Ok();
 }
 
+// ---------------------------------------------------------------------------
+// Whole-trace helpers.
+// ---------------------------------------------------------------------------
+
+Status SavePageTrace(const std::vector<PageId>& trace,
+                     const std::string& path) {
+  EPFIS_RETURN_IF_ERROR(FaultPoint("trace.save.open"));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  EPFIS_RETURN_IF_ERROR(WriteHeader(out, kPageMagic, trace.size()));
+  if (!trace.empty()) {
+    EPFIS_RETURN_IF_ERROR(
+        WriteBody(out, trace.data(), trace.size() * sizeof(PageId), path));
+  }
+  return out.good() ? Status::Ok() : Status::IoError("trace write failed");
+}
+
+Result<std::vector<PageId>> LoadPageTrace(const std::string& path) {
+  // Route the bulk load through the hardened incremental reader so it
+  // shares the EINTR/short-read handling and fault points.
+  EPFIS_ASSIGN_OR_RETURN(PageTraceReader reader, PageTraceReader::Open(path));
+  std::vector<PageId> trace(reader.count());
+  size_t filled = 0;
+  while (filled < trace.size()) {
+    EPFIS_ASSIGN_OR_RETURN(
+        size_t got, reader.Read(trace.data() + filled, trace.size() - filled));
+    if (got == 0) break;
+    filled += got;
+  }
+  if (filled != trace.size()) {
+    return Status::Corruption("trace file: truncated body");
+  }
+  // One extra read validates there are no trailing bytes.
+  PageId sentinel;
+  EPFIS_ASSIGN_OR_RETURN(size_t extra, reader.Read(&sentinel, 1));
+  if (extra != 0) return Status::Corruption("trace file: trailing bytes");
+  return trace;
+}
+
 Status SaveKeyPageTrace(const std::vector<KeyPageRef>& trace,
                         const std::string& path) {
+  EPFIS_RETURN_IF_ERROR(FaultPoint("trace.save.open"));
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) return Status::IoError("cannot open " + path);
   EPFIS_RETURN_IF_ERROR(WriteHeader(out, kKeyPageMagic, trace.size()));
   for (const KeyPageRef& ref : trace) {
-    out.write(reinterpret_cast<const char*>(&ref.key), sizeof(ref.key));
-    out.write(reinterpret_cast<const char*>(&ref.page), sizeof(ref.page));
+    EPFIS_RETURN_IF_ERROR(WriteBody(out, &ref.key, sizeof(ref.key), path));
+    EPFIS_RETURN_IF_ERROR(WriteBody(out, &ref.page, sizeof(ref.page), path));
   }
   return out.good() ? Status::Ok() : Status::IoError("trace write failed");
 }
 
 Result<std::vector<KeyPageRef>> LoadKeyPageTrace(const std::string& path) {
+  EPFIS_RETURN_IF_ERROR(FaultPoint("trace.open"));
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::IoError("cannot open " + path);
   uint64_t count = 0;
   EPFIS_RETURN_IF_ERROR(ReadHeader(in, kKeyPageMagic, &count));
   std::vector<KeyPageRef> trace(count);
   for (uint64_t i = 0; i < count; ++i) {
+    uint64_t want = sizeof(trace[i].key) + sizeof(trace[i].page);
+    FaultIoOutcome fault = FaultIoPoint("trace.read.body", &want);
+    if (!fault.status.ok()) return fault.status;
     in.read(reinterpret_cast<char*>(&trace[i].key), sizeof(trace[i].key));
     in.read(reinterpret_cast<char*>(&trace[i].page), sizeof(trace[i].page));
     if (!in.good()) return Status::Corruption("trace file: truncated body");

@@ -2,7 +2,7 @@
 #define EPFIS_EPFIS_TRACE_IO_H_
 
 #include <cstdint>
-#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,12 +41,20 @@ Result<std::vector<PageId>> LoadPageTrace(const std::string& path);
 /// Incremental reader over a SavePageTrace file: validates the header on
 /// Open, then streams entries in caller-sized chunks so a trace never has
 /// to be materialized whole (FileTraceSource builds on this). Move-only.
+///
+/// Reads go through a raw-descriptor backend (POSIX fd where available)
+/// that retries interrupted system calls (EINTR) up to a bounded budget
+/// and transparently continues after short reads, so a signal-heavy host
+/// or a pipe-backed file never surfaces as spurious Corruption. The I/O
+/// boundary carries the `trace.open` / `trace.read.header` /
+/// `trace.read.body` fault-injection points (util/fault.h).
 class PageTraceReader {
  public:
   static Result<PageTraceReader> Open(const std::string& path);
 
-  PageTraceReader(PageTraceReader&&) = default;
-  PageTraceReader& operator=(PageTraceReader&&) = default;
+  PageTraceReader(PageTraceReader&&) noexcept;
+  PageTraceReader& operator=(PageTraceReader&&) noexcept;
+  ~PageTraceReader();
 
   /// Entry count from the header.
   uint64_t count() const { return count_; }
@@ -60,9 +68,11 @@ class PageTraceReader {
   Status Reset();
 
  private:
-  PageTraceReader(std::ifstream in, uint64_t count);
+  class Impl;
 
-  std::ifstream in_;
+  PageTraceReader(std::unique_ptr<Impl> impl, uint64_t count);
+
+  std::unique_ptr<Impl> impl_;
   uint64_t count_ = 0;
   uint64_t consumed_ = 0;
 };

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/fault.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define EPFIS_HAS_MMAP 1
@@ -71,6 +72,13 @@ Result<MmapTraceSource> MmapTraceSource::Open(const std::string& path) {
     ::close(fd);
     return magic_ok ? Status::Corruption("trace file: truncated header")
                     : Status::Corruption("trace file: bad magic");
+  }
+  // Injected map failures take the same exit as a real mmap failure so
+  // the OpenTraceSource degrade-to-streaming path can be drilled.
+  Status map_fault = FaultPoint("trace.mmap.map");
+  if (!map_fault.ok()) {
+    ::close(fd);
+    return map_fault;
   }
   void* map = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);  // The mapping keeps the file alive.

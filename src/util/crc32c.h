@@ -1,0 +1,25 @@
+#ifndef EPFIS_UTIL_CRC32C_H_
+#define EPFIS_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace epfis {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected form) — the
+/// checksum used by the stats catalog's on-disk entries. Software
+/// table-driven implementation; the inputs are catalog-entry-sized text
+/// blocks, far off any hot path.
+///
+/// `seed` allows incremental computation: Crc32c(b, Crc32c(a)) equals
+/// Crc32c(a+b). The check value for "123456789" is 0xE3069283.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view s, uint32_t seed = 0) {
+  return Crc32c(s.data(), s.size(), seed);
+}
+
+}  // namespace epfis
+
+#endif  // EPFIS_UTIL_CRC32C_H_

@@ -1,0 +1,47 @@
+#include "util/crc32c.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace epfis {
+namespace {
+
+TEST(Crc32cTest, KnownCheckValue) {
+  // The standard CRC-32C check value: CRC("123456789") = 0xE3069283.
+  EXPECT_EQ(Crc32c(std::string_view("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32c(std::string_view("")), 0u);
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32cTest, IncrementalSeedingMatchesOneShot) {
+  std::string data = "name=ix_orders\ntable_pages=100\nknots=1:2,3:4\n";
+  uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t part = Crc32c(data.data(), split);
+    uint32_t joined = Crc32c(data.data() + split, data.size() - split, part);
+    EXPECT_EQ(joined, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SingleBitFlipChangesChecksum) {
+  std::string data(64, 'x');
+  uint32_t clean = Crc32c(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); i += 7) {
+    std::string tampered = data;
+    tampered[i] ^= 0x01;
+    EXPECT_NE(Crc32c(tampered.data(), tampered.size()), clean)
+        << "flip at byte " << i;
+  }
+}
+
+TEST(Crc32cTest, StringViewOverloadMatchesPointerForm) {
+  std::string data = "catalog entry body";
+  EXPECT_EQ(Crc32c(std::string_view(data)), Crc32c(data.data(), data.size()));
+}
+
+}  // namespace
+}  // namespace epfis

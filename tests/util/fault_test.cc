@@ -1,0 +1,155 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <iterator>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace epfis {
+namespace {
+
+// Every test disarms on both sides: the injector is process-global, and a
+// schedule left armed would leak into whatever runs next in this process.
+class FaultInjectorTest : public testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().DisarmAll(); }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+
+  FaultInjector& injector() { return FaultInjector::Global(); }
+};
+
+TEST_F(FaultInjectorTest, UnarmedPointIsOkAndRegisters) {
+  EXPECT_TRUE(injector().Check("test.unarmed").ok());
+  auto points = injector().RegisteredPoints();
+  EXPECT_NE(std::find(points.begin(), points.end(), "test.unarmed"),
+            points.end());
+  EXPECT_EQ(injector().counters("test.unarmed").fires, 0u);
+}
+
+TEST_F(FaultInjectorTest, DefaultSpecFiresEveryCall) {
+  injector().Arm("test.always", FaultSpec{});
+  for (int i = 0; i < 3; ++i) {
+    Status s = injector().Check("test.always");
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+    EXPECT_NE(s.message().find("test.always"), std::string::npos);
+  }
+}
+
+TEST_F(FaultInjectorTest, NthCallSchedule) {
+  FaultSpec spec;
+  spec.skip_calls = 2;  // Fire on the 3rd call...
+  spec.max_fires = 1;   // ...exactly once.
+  spec.code = StatusCode::kCorruption;
+  injector().Arm("test.nth", spec);
+  EXPECT_TRUE(injector().Check("test.nth").ok());
+  EXPECT_TRUE(injector().Check("test.nth").ok());
+  EXPECT_EQ(injector().Check("test.nth").code(), StatusCode::kCorruption);
+  // Self-disarmed after max_fires.
+  EXPECT_TRUE(injector().Check("test.nth").ok());
+  EXPECT_EQ(injector().counters("test.nth").fires, 1u);
+  EXPECT_EQ(injector().counters("test.nth").calls, 4u);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityScheduleIsDeterministicPerSeed) {
+  auto run = [&](uint64_t seed) {
+    FaultSpec spec;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    injector().Arm("test.prob", spec);
+    std::string pattern;
+    for (int i = 0; i < 32; ++i) {
+      pattern += injector().Check("test.prob").ok() ? '.' : 'X';
+    }
+    return pattern;
+  };
+  std::string a = run(42), b = run(42), c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // Astronomically unlikely to collide over 32 draws.
+  EXPECT_NE(a.find('X'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, DisarmStopsInjection) {
+  injector().Arm("test.disarm", FaultSpec{});
+  EXPECT_FALSE(injector().Check("test.disarm").ok());
+  injector().Disarm("test.disarm");
+  EXPECT_TRUE(injector().Check("test.disarm").ok());
+}
+
+TEST_F(FaultInjectorTest, ShortReadClampsIoRequest) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kShortRead;
+  spec.short_io_bytes = 3;
+  injector().Arm("test.short", spec);
+  uint64_t want = 4096;
+  FaultIoOutcome outcome = injector().CheckIo("test.short", &want);
+  EXPECT_TRUE(outcome.status.ok());
+  EXPECT_FALSE(outcome.eintr);
+  EXPECT_EQ(want, 3u);
+  // A plain Check at a short-read point is a no-op, not an error.
+  EXPECT_TRUE(injector().Check("test.short").ok());
+}
+
+TEST_F(FaultInjectorTest, EintrOutcome) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kEintr;
+  injector().Arm("test.eintr", spec);
+  uint64_t want = 100;
+  FaultIoOutcome outcome = injector().CheckIo("test.eintr", &want);
+  EXPECT_TRUE(outcome.status.ok());
+  EXPECT_TRUE(outcome.eintr);
+  EXPECT_EQ(want, 100u);  // Request untouched.
+}
+
+TEST_F(FaultInjectorTest, ErrorKindFiresAtIoPointsToo) {
+  FaultSpec spec;
+  spec.code = StatusCode::kResourceExhausted;
+  injector().Arm("test.io_error", spec);
+  uint64_t want = 8;
+  FaultIoOutcome outcome = injector().CheckIo("test.io_error", &want);
+  EXPECT_EQ(outcome.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FaultInjectorTest, EnvGrammarArmsPoints) {
+  ASSERT_TRUE(injector()
+                  .ArmFromSpec("a.point=nth:2,code:corruption;"
+                               "b.point=short:7;c.point=eintr")
+                  .ok());
+  EXPECT_TRUE(injector().Check("a.point").ok());
+  EXPECT_EQ(injector().Check("a.point").code(), StatusCode::kCorruption);
+  uint64_t want = 64;
+  EXPECT_TRUE(injector().CheckIo("b.point", &want).status.ok());
+  EXPECT_EQ(want, 7u);
+  EXPECT_TRUE(injector().CheckIo("c.point", &want).eintr);
+}
+
+TEST_F(FaultInjectorTest, MalformedEnvSpecArmsNothing) {
+  EXPECT_FALSE(injector().ArmFromSpec("ok.point=once;bad.point=nth:0").ok());
+  EXPECT_FALSE(injector().ArmFromSpec("no-equals-sign").ok());
+  EXPECT_FALSE(injector().ArmFromSpec("p=unknown_token").ok());
+  EXPECT_FALSE(injector().ArmFromSpec("p=prob:1.5").ok());
+  EXPECT_FALSE(injector().ArmFromSpec("p=code:bogus").ok());
+  EXPECT_TRUE(injector().ArmedPoints().empty());
+  // Empty spec is explicitly fine.
+  EXPECT_TRUE(injector().ArmFromSpec("").ok());
+  EXPECT_TRUE(injector().ArmFromSpec(nullptr).ok());
+}
+
+TEST_F(FaultInjectorTest, RearmRestartsSchedule) {
+  FaultSpec spec;
+  spec.skip_calls = 1;
+  injector().Arm("test.rearm", spec);
+  EXPECT_TRUE(injector().Check("test.rearm").ok());
+  injector().Arm("test.rearm", spec);  // Restart: skip counts from here.
+  EXPECT_TRUE(injector().Check("test.rearm").ok());
+  EXPECT_FALSE(injector().Check("test.rearm").ok());
+}
+
+TEST_F(FaultInjectorTest, CanonicalPointListIsLargeEnoughForSweep) {
+  // The ISSUE's acceptance floor: the sweep must cover >= 12 points.
+  EXPECT_GE(std::size(kAllFaultPoints), 12u);
+}
+
+}  // namespace
+}  // namespace epfis
