@@ -69,7 +69,7 @@ int Run(int argc, char** argv) {
       uint64_t clock = CountPolicyFetches(
           trace, b, std::make_unique<ClockReplacer>());
       double est =
-          EstimatePageFetches(stats, {scan.sigma, 1.0, b});
+          EstIo::Estimate(stats, {scan.sigma, 1.0, b}).value();
       auto pct = [](double a, double base) {
         return base > 0 ? 100.0 * (a - base) / base : 0.0;
       };

@@ -69,9 +69,9 @@ int Run(int argc, char** argv) {
         StackDistanceSimulator sim(trace.size() + 1);
         sim.AccessAll(trace);
         sum_actual += static_cast<double>(sim.Fetches(buffer));
-        sum_est +=
-            EstimatePageFetches(stats, {scan.sigma, 1.0, buffer},
-                                config.est_io);
+        sum_est += EstIo::Estimate(stats, {scan.sigma, 1.0, buffer},
+                                   config.est_io)
+                       .value();
       }
       table.AddRow()
           .Cell(r, 2)

@@ -70,7 +70,7 @@ int Run(int argc, char** argv) {
     part1.AddRow()
         .Cell(b)
         .Cell(sim.Fetches(b))
-        .Cell(EstimatePageFetches(stats, {sigma, 1.0, b}), 1)
+        .Cell(EstIo::Estimate(stats, {sigma, 1.0, b}).value(), 1)
         .Cell(rid.data_page_fetches)
         .Cell(rid_est, 1);
   }

@@ -4,7 +4,7 @@
 //    whole multi-buffer-size simulation to be feasible "while statistics
 //    are being gathered for other purposes".
 //  * LruSimulator — the direct single-size simulation (for comparison).
-//  * EstimatePageFetches — the optimizer-time path; the paper's pitch is
+//  * EstIo::Estimate — the optimizer-time path; the paper's pitch is
 //    that estimation "only involves computing a simple formula", so this
 //    must be nanoseconds-to-microseconds.
 //  * B-tree insert/seek and buffer pool hits — substrate costs.
@@ -98,7 +98,7 @@ void BM_EstIo(benchmark::State& state) {
     ScanSpec scan;
     scan.sigma = 0.001 * static_cast<double>(i % 1000 + 1);
     scan.buffer_pages = 12 + (i % 1000);
-    benchmark::DoNotOptimize(EstimatePageFetches(stats, scan));
+    benchmark::DoNotOptimize(EstIo::Estimate(stats, scan).value());
     ++i;
   }
 }

@@ -14,11 +14,20 @@
 //   show NAME
 //       table shape and catalog statistics
 //   estimate NAME sigma buffer [sargable]
-//       Est-IO estimate from the catalog. When the index's statistics are
-//       missing or quarantined the estimate degrades to the Yao/Cardenas
-//       formula and is flagged "(degraded)".
-//   save PATH
-//       write the statistics catalog (crash-safe: tmp + fsync + rename)
+//       Est-IO estimate, served lock-free from the published catalog
+//       snapshot. When the index's statistics are missing or quarantined
+//       the estimate degrades to the Yao/Cardenas formula and is flagged
+//       "(degraded)".
+//   estimate --batch NAME sigma1[,sigma2,...] buf1[,buf2,...] [sargable]
+//       one EstIo::EstimateBatch call over the cross product of the sigma
+//       and buffer lists (the handle is resolved once); prints per-probe
+//       provenance
+//   save PATH [v2|v3]
+//       write the statistics catalog (crash-safe: tmp + fsync + rename);
+//       v2 = checksummed text (default), v3 = binary mmap-able
+//   catalog convert SRC DST [v2|v3]
+//       re-encode a catalog file between formats (default: to v3); SRC
+//       may be any loadable version (v1/v2 text or v3 binary)
 //   load PATH
 //       recovering catalog load; prints the provenance report (entries
 //       loaded / quarantined, checksum failures)
@@ -87,9 +96,10 @@ class Shell {
     if (command == "run") return Run(args);
     if (command == "save") return Save(args);
     if (command == "load") return Load(args);
+    if (command == "catalog") return CatalogCmd(args);
     if (command == "help") {
       std::cout << "commands: create gwl stats show estimate explain run "
-                   "save load quit\n";
+                   "save load catalog quit\n";
       return Status::Ok();
     }
     return Status::InvalidArgument("unknown command '" + command +
@@ -194,6 +204,9 @@ class Shell {
     }
     std::cout << '\n';
     catalog_.stats().Put(std::move(stats));
+    // Swap the new entry into the serving snapshot (RCU publish): the
+    // estimate command reads the snapshot, never the mutable catalog.
+    EPFIS_RETURN_IF_ERROR(catalog_.stats().Publish());
     EPFIS_ASSIGN_OR_RETURN(
         EquiDepthHistogram histogram,
         EquiDepthHistogram::Build(dataset->key_counts(), 20));
@@ -230,8 +243,13 @@ class Shell {
 
   Status Estimate(std::istringstream& args) {
     std::string name;
+    if (!(args >> name)) {
+      return Status::InvalidArgument(
+          "usage: estimate [--batch] NAME sigma buffer [sargable]");
+    }
+    if (name == "--batch") return EstimateBatchCmd(args);
     ScanSpec scan;
-    if (!(args >> name >> scan.sigma >> scan.buffer_pages)) {
+    if (!(args >> scan.sigma >> scan.buffer_pages)) {
       return Status::InvalidArgument(
           "usage: estimate NAME sigma buffer [sargable]");
     }
@@ -240,15 +258,17 @@ class Shell {
     TableShape shape;
     shape.table_pages = dataset->num_pages();
     shape.table_records = dataset->num_records();
-    // Catalog-backed entry point with graceful degradation: missing or
+    // Serving path: read the published immutable snapshot (one atomic
+    // load, no catalog mutex) with graceful degradation — missing or
     // quarantined statistics fall back to the Yao/Cardenas formula (and
     // the output says so) instead of failing the command; a malformed
     // spec (sigma outside [0, 1], buffer of 0 pages) still prints an
     // error instead of a silently clamped number.
+    std::shared_ptr<const CatalogSnapshot> snapshot =
+        catalog_.stats().snapshot();
     EPFIS_ASSIGN_OR_RETURN(
         CatalogEstimate est,
-        EstIo::EstimateFromCatalog(catalog_.stats(), name + ".key", scan,
-                                   shape));
+        EstIo::EstimateFromCatalog(*snapshot, name + ".key", scan, shape));
     std::cout << "estimated fetches: " << est.fetches;
     if (est.source == EstimateSource::kFormulaFallback) {
       std::cout << "  [DEGRADED: formula fallback — "
@@ -258,12 +278,126 @@ class Shell {
     return Status::Ok();
   }
 
+  static Result<std::vector<double>> ParseList(const std::string& csv,
+                                               const char* what) {
+    std::vector<double> values;
+    std::istringstream stream(csv);
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+      char* end = nullptr;
+      double v = std::strtod(item.c_str(), &end);
+      if (end == item.c_str() || *end != '\0') {
+        return Status::InvalidArgument(std::string("estimate --batch: bad ") +
+                                       what + " '" + item + "'");
+      }
+      values.push_back(v);
+    }
+    if (values.empty()) {
+      return Status::InvalidArgument(std::string("estimate --batch: empty ") +
+                                     what + " list");
+    }
+    return values;
+  }
+
+  Status EstimateBatchCmd(std::istringstream& args) {
+    std::string name, sigma_csv, buffer_csv;
+    if (!(args >> name >> sigma_csv >> buffer_csv)) {
+      return Status::InvalidArgument(
+          "usage: estimate --batch NAME sigma1[,sigma2,...] "
+          "buf1[,buf2,...] [sargable]");
+    }
+    double sargable = 1.0;
+    args >> sargable;
+    EPFIS_ASSIGN_OR_RETURN(std::vector<double> sigmas,
+                           ParseList(sigma_csv, "sigma"));
+    EPFIS_ASSIGN_OR_RETURN(std::vector<double> buffers,
+                           ParseList(buffer_csv, "buffer"));
+    EPFIS_ASSIGN_OR_RETURN(Dataset * dataset, Find(name));
+    TableShape shape;
+    shape.table_pages = dataset->num_pages();
+    shape.table_records = dataset->num_records();
+
+    // One snapshot, one name resolution, one EstimateBatch call for the
+    // whole sigma x buffer cross product — the serving-path idiom.
+    std::shared_ptr<const CatalogSnapshot> snapshot =
+        catalog_.stats().snapshot();
+    CatalogSnapshot::Handle handle = snapshot->Resolve(name + ".key");
+    std::vector<BatchProbe> probes;
+    probes.reserve(sigmas.size() * buffers.size());
+    for (double sigma : sigmas) {
+      for (double buffer : buffers) {
+        ScanSpec scan;
+        scan.sigma = sigma;
+        scan.sargable_selectivity = sargable;
+        scan.buffer_pages = buffer < 0 ? 0 : static_cast<uint64_t>(buffer);
+        probes.push_back(BatchProbe{handle, scan, shape});
+      }
+    }
+    std::vector<CatalogEstimate> results(probes.size());
+    EPFIS_RETURN_IF_ERROR(
+        EstIo::EstimateBatch(*snapshot, probes, results));
+
+    TablePrinter table({"sigma", "buffer", "estimated F", "source"});
+    for (size_t i = 0; i < probes.size(); ++i) {
+      const char* source = "lru-fit";
+      if (results[i].source == EstimateSource::kFormulaFallback) {
+        source = "DEGRADED";
+      } else if (results[i].source == EstimateSource::kRejected) {
+        source = "REJECTED";
+      }
+      table.AddRow()
+          .Cell(probes[i].scan.sigma, 3)
+          .Cell(probes[i].scan.buffer_pages)
+          .Cell(results[i].fetches, 1)
+          .Cell(source);
+    }
+    table.Print(std::cout);
+    return Status::Ok();
+  }
+
   Status Save(std::istringstream& args) {
     std::string path;
-    if (!(args >> path)) return Status::InvalidArgument("usage: save PATH");
-    EPFIS_RETURN_IF_ERROR(catalog_.stats().SaveToFile(path));
+    if (!(args >> path)) {
+      return Status::InvalidArgument("usage: save PATH [v2|v3]");
+    }
+    std::string format = "v2";
+    args >> format;
+    if (format == "v3") {
+      EPFIS_RETURN_IF_ERROR(catalog_.stats().SaveToFileV3(path));
+    } else if (format == "v2") {
+      EPFIS_RETURN_IF_ERROR(catalog_.stats().SaveToFile(path));
+    } else {
+      return Status::InvalidArgument("save: format must be v2 or v3");
+    }
     std::cout << "saved " << catalog_.stats().size() << " entries to "
-              << path << '\n';
+              << path << " (" << format << ")\n";
+    return Status::Ok();
+  }
+
+  Status CatalogCmd(std::istringstream& args) {
+    std::string verb;
+    if (!(args >> verb) || verb != "convert") {
+      return Status::InvalidArgument("usage: catalog convert SRC DST [v2|v3]");
+    }
+    std::string src, dst;
+    if (!(args >> src >> dst)) {
+      return Status::InvalidArgument("usage: catalog convert SRC DST [v2|v3]");
+    }
+    std::string format = "v3";
+    args >> format;
+    if (format != "v2" && format != "v3") {
+      return Status::InvalidArgument(
+          "catalog convert: format must be v2 or v3");
+    }
+    // Round-trip through a scratch catalog: SRC may be any loadable
+    // version (the load sniffs v3 magic, else parses v1/v2 text). Strict
+    // load — converting silently past corrupt entries would launder them.
+    StatsCatalog scratch;
+    EPFIS_RETURN_IF_ERROR(scratch.LoadFromFile(src));
+    EPFIS_RETURN_IF_ERROR(format == "v3" ? scratch.SaveToFileV3(dst)
+                                         : scratch.SaveToFile(dst));
+    std::cout << "converted " << src << " -> " << dst << " (" << format
+              << ", " << scratch.size() << " entries)\n";
     return Status::Ok();
   }
 
@@ -272,6 +406,7 @@ class Shell {
     if (!(args >> path)) return Status::InvalidArgument("usage: load PATH");
     EPFIS_ASSIGN_OR_RETURN(CatalogLoadReport report,
                            catalog_.stats().RecoverFromFile(path));
+    EPFIS_RETURN_IF_ERROR(catalog_.stats().Publish());
     std::cout << "loaded " << path << " (v" << report.format_version
               << "): " << report.entries_loaded << " entries, "
               << report.entries_quarantined << " quarantined ("

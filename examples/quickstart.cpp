@@ -62,19 +62,33 @@ int main() {
 
   StatsCatalog catalog;
   catalog.Put(stats);
+  // Freeze the entries into the immutable snapshot Est-IO serves from;
+  // estimate threads read it lock-free while later Put+Publish cycles
+  // swap in fresh statistics behind them.
+  if (Status published = catalog.Publish(); !published.ok()) {
+    std::cerr << published.ToString() << '\n';
+    return 1;
+  }
+  std::shared_ptr<const CatalogSnapshot> snapshot = catalog.snapshot();
 
   // --- 3. Estimates vs physically measured fetches. ---
   ScanGenerator scans(&dataset, 21);
   TablePrinter table({"sigma", "buffer", "estimated F", "measured F",
                       "rel err %"});
+  TableShape shape{dataset.num_pages(), dataset.num_records()};
   for (double fraction : {0.02, 0.10, 0.40, 1.0}) {
     ScanRange scan = scans.FromFraction(fraction);
     for (uint64_t buffer : {60ULL, 250ULL, 1000ULL}) {
       ScanSpec query;
       query.sigma = scan.sigma;
       query.buffer_pages = buffer;
-      double estimate =
-          EstimatePageFetches(catalog.Get("orders.key").value(), query);
+      auto estimate_or =
+          EstIo::EstimateFromCatalog(*snapshot, "orders.key", query, shape);
+      if (!estimate_or.ok()) {
+        std::cerr << estimate_or.status().ToString() << '\n';
+        return 1;
+      }
+      double estimate = estimate_or->fetches;
 
       auto pool = dataset.MakeDataPool(buffer);
       auto run_or = RunIndexScan(*dataset.index(), *dataset.table(),

@@ -129,12 +129,14 @@ int main() {
   }
   IndexStats fresh = catalog.Get("ledger.key").value();
   IndexStats restored = reloaded.Get("ledger.key").value();
+  auto estimate = [](const IndexStats& s, const ScanSpec& scan) {
+    return EstIo::Estimate(s, scan).value();
+  };
   bool identical = true;
   for (double sigma : {0.01, 0.2, 0.9}) {
     for (uint64_t b : {30ULL, 300ULL, 900ULL}) {
       ScanSpec scan{sigma, 1.0, b};
-      if (EstimatePageFetches(fresh, scan) !=
-          EstimatePageFetches(restored, scan)) {
+      if (estimate(fresh, scan) != estimate(restored, scan)) {
         identical = false;
       }
     }
@@ -176,7 +178,7 @@ int main() {
   double measured = measure();
 
   ScanSpec probe{0.2, 1.0, 300};
-  double stale_est = EstimatePageFetches(restored, probe);
+  double stale_est = estimate(restored, probe);
   drift.AddRow()
       .Cell("stale (pre-append)")
       .Cell(stale_est, 1)
@@ -189,7 +191,7 @@ int main() {
     return 1;
   }
   catalog.Put(*refreshed_or);
-  double fresh_est = EstimatePageFetches(*refreshed_or, probe);
+  double fresh_est = estimate(*refreshed_or, probe);
   drift.AddRow()
       .Cell("re-collected")
       .Cell(fresh_est, 1)

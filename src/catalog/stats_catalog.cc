@@ -6,7 +6,9 @@
 #include <fstream>
 #include <mutex>
 #include <sstream>
+#include <utility>
 
+#include "catalog/catalog_v3.h"
 #include "util/crc32c.h"
 #include "util/fault.h"
 
@@ -144,9 +146,41 @@ std::vector<std::string> StatsCatalog::QuarantinedNames() const {
   return names;
 }
 
+Status StatsCatalog::Publish() {
+  std::map<std::string, IndexStats> entries;
+  std::map<std::string, std::string> quarantined;
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries = entries_;
+    quarantined = quarantined_;
+    generation = ++publish_generation_;
+  }
+  // Snapshot construction happens outside the lock: a big catalog copy
+  // must not stall concurrent Put/Get, and readers are untouched either
+  // way (they only see the final swap).
+  std::shared_ptr<const CatalogSnapshot> snapshot = CatalogSnapshot::Build(
+      std::move(entries), std::move(quarantined), generation);
+  // The swap boundary: a fault here fails the publish with the previous
+  // snapshot still current — refresh failures must never leave readers
+  // with a half-published view.
+  EPFIS_RETURN_IF_ERROR(FaultPoint("catalog.publish.swap"));
+  snapshot_.store(std::move(snapshot), std::memory_order_release);
+  return Status::Ok();
+}
+
+std::shared_ptr<const CatalogSnapshot> StatsCatalog::snapshot() const {
+  return snapshot_.load(std::memory_order_acquire);
+}
+
 std::string StatsCatalog::SaveToString() const {
   std::lock_guard<std::mutex> lock(mu_);
   return SaveToStringLocked();
+}
+
+std::string StatsCatalog::SaveToStringV3() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CatalogV3::Encode(entries_);
 }
 
 std::string StatsCatalog::SaveToStringLocked() const {
@@ -197,8 +231,30 @@ Result<CatalogLoadReport> StatsCatalog::RecoverFromString(
   return LoadImpl(text, /*recover=*/true);
 }
 
+Result<CatalogLoadReport> StatsCatalog::LoadV3Impl(const std::string& bytes,
+                                                   bool recover) {
+  EPFIS_ASSIGN_OR_RETURN(
+      CatalogV3::Contents contents,
+      CatalogV3::Decode(bytes.data(), bytes.size(), recover));
+  CatalogLoadReport report;
+  report.format_version = 3;
+  report.entries_loaded = contents.entries.size();
+  report.entries_quarantined = contents.quarantine_reasons.size();
+  report.checksum_failures = contents.checksum_failures;
+  report.quarantine_reasons = std::move(contents.quarantine_reasons);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_ = std::move(contents.entries);
+  quarantined_ = std::move(contents.quarantined);
+  return report;
+}
+
 Result<CatalogLoadReport> StatsCatalog::LoadImpl(const std::string& text,
                                                  bool recover) {
+  // The binary v3 format announces itself with a magic prefix; everything
+  // else goes through the v1/v2 text parser below.
+  if (CatalogV3::SniffMagic(text.data(), text.size())) {
+    return LoadV3Impl(text, recover);
+  }
   std::map<std::string, IndexStats> loaded;
   std::map<std::string, std::string> quarantined;
   CatalogLoadReport report;
@@ -335,12 +391,14 @@ Result<CatalogLoadReport> StatsCatalog::LoadImpl(const std::string& text,
   return report;
 }
 
+namespace {
+
 #ifdef EPFIS_CATALOG_POSIX_IO
 
-Status StatsCatalog::SaveToFile(const std::string& path) const {
-  // Serialize before touching the filesystem so a slow disk never holds
-  // the catalog mutex.
-  std::string data = SaveToString();
+// Crash-safe byte-image write shared by the v2 text and v3 binary saves:
+// tmp file + fsync + rename, catalog.save.* fault points throughout.
+Status WriteCatalogFileAtomic(const std::string& path,
+                              const std::string& data) {
   const std::string tmp = path + ".tmp";
 
   // Crash safety: never truncate the destination in place. The new
@@ -405,14 +463,13 @@ Status StatsCatalog::SaveToFile(const std::string& path) const {
 
 #else  // !EPFIS_CATALOG_POSIX_IO
 
-Status StatsCatalog::SaveToFile(const std::string& path) const {
-  // Portable fallback: still staged through a tmp file and renamed so the
-  // previous catalog survives a failed write, but without fsync
-  // durability.
-  std::string data = SaveToString();
+// Portable fallback: still staged through a tmp file and renamed so the
+// previous catalog survives a failed write, but without fsync durability.
+Status WriteCatalogFileAtomic(const std::string& path,
+                              const std::string& data) {
   const std::string tmp = path + ".tmp";
   EPFIS_RETURN_IF_ERROR(FaultPoint("catalog.save.open"));
-  std::ofstream out(tmp, std::ios::out | std::ios::trunc);
+  std::ofstream out(tmp, std::ios::out | std::ios::trunc | std::ios::binary);
   if (!out.is_open()) {
     return Status::IoError("cannot open " + tmp + " for writing");
   }
@@ -442,13 +499,12 @@ Status StatsCatalog::SaveToFile(const std::string& path) const {
 
 #endif  // EPFIS_CATALOG_POSIX_IO
 
-namespace {
-
 // Shared file slurp for the strict and recovering loads, with the
-// catalog.load.* fault points applied.
+// catalog.load.* fault points applied. Binary-safe (v3 images pass
+// through it unchanged).
 Result<std::string> ReadCatalogFile(const std::string& path) {
   EPFIS_RETURN_IF_ERROR(FaultPoint("catalog.load.open"));
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::IoError("cannot open " + path + " for reading");
   }
@@ -460,6 +516,16 @@ Result<std::string> ReadCatalogFile(const std::string& path) {
 }
 
 }  // namespace
+
+Status StatsCatalog::SaveToFile(const std::string& path) const {
+  // Serialize before touching the filesystem so a slow disk never holds
+  // the catalog mutex.
+  return WriteCatalogFileAtomic(path, SaveToString());
+}
+
+Status StatsCatalog::SaveToFileV3(const std::string& path) const {
+  return WriteCatalogFileAtomic(path, SaveToStringV3());
+}
 
 Status StatsCatalog::LoadFromFile(const std::string& path) {
   EPFIS_ASSIGN_OR_RETURN(std::string text, ReadCatalogFile(path));

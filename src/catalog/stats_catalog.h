@@ -1,11 +1,14 @@
 #ifndef EPFIS_CATALOG_STATS_CATALOG_H_
 #define EPFIS_CATALOG_STATS_CATALOG_H_
 
+#include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "catalog/catalog_snapshot.h"
 #include "epfis/index_stats.h"
 #include "util/result.h"
 
@@ -16,7 +19,8 @@ namespace epfis {
 /// and consumed by operators deciding whether to trigger a statistics
 /// refresh for the quarantined indexes.
 struct CatalogLoadReport {
-  /// On-disk format version of the file (1 = pre-checksum, 2 = current).
+  /// On-disk format version of the file (1 = pre-checksum text,
+  /// 2 = checksummed text, 3 = binary mmap-able).
   int format_version = 0;
   size_t entries_loaded = 0;
   size_t entries_quarantined = 0;
@@ -36,9 +40,13 @@ struct CatalogLoadReport {
 /// RunLruFitBatch workers can publish entries while compilation threads
 /// read them. Get returns a copy, never a reference into the map.
 ///
-/// Entries round-trip through a line-oriented text format so statistics
-/// survive process restarts. The on-disk format is versioned:
+/// Entries round-trip through versioned on-disk formats, all of which
+/// load through the same auto-detecting entry points:
 ///
+///   v3 (written)  — the binary mmap-able serving format (catalog_v3.h):
+///                   packed entries + FPF knots with a CRC32C per entry,
+///                   written by SaveToFileV3, loadable zero-copy as a
+///                   CatalogSnapshot (OpenCatalogSnapshotV3).
 ///   v2 (written)  — a `[epfis-stats-catalog-v2]` header line, then per
 ///                   entry `[index]`, `key=value` fields, and an
 ///                   `[end crc=XXXXXXXX]` trailer whose CRC32C covers the
@@ -83,12 +91,37 @@ class StatsCatalog {
   /// Names of all quarantined indexes, sorted.
   std::vector<std::string> QuarantinedNames() const;
 
+  /// ## The RCU write side (see CatalogSnapshot for the read contract)
+  ///
+  /// Freezes the current entries (and quarantine marks) into a new
+  /// immutable CatalogSnapshot and atomically swaps it in as the one
+  /// snapshot() hands out. Estimate threads holding the previous snapshot
+  /// keep reading it untouched; it is reclaimed when the last of them
+  /// drops its reference. Publishing never blocks readers and readers
+  /// never block publishing — the swap is one atomic shared_ptr store.
+  ///
+  /// Carries the `catalog.publish.swap` fault point: an injected fault
+  /// fails the publish *before* the swap, so the previous snapshot stays
+  /// current (the crash-safety contract of the catalog file, applied to
+  /// the in-memory serving state).
+  Status Publish();
+
+  /// The most recently published snapshot (never null — the empty
+  /// snapshot before the first Publish). One atomic load; wait-free, safe
+  /// from any thread. Callers batch-estimating should grab one snapshot,
+  /// resolve handles against it, and use it for the whole batch.
+  std::shared_ptr<const CatalogSnapshot> snapshot() const;
+
   /// Serializes every entry to the v2 text format.
   std::string SaveToString() const;
 
-  /// Parses entries from the text format (v1 or v2), replacing current
-  /// contents. Strict: any corrupt entry fails the whole load with
-  /// Corruption and leaves the catalog unchanged.
+  /// Serializes every entry to the v3 binary format (catalog_v3.h).
+  std::string SaveToStringV3() const;
+
+  /// Parses entries from any supported format (v3 binary sniffed by
+  /// magic, else v1/v2 text), replacing current contents. Strict: any
+  /// corrupt entry fails the whole load with Corruption and leaves the
+  /// catalog unchanged.
   Status LoadFromString(const std::string& text);
 
   /// Recovery mode: loads every parsable entry, quarantines the corrupt
@@ -98,23 +131,36 @@ class StatsCatalog {
   /// at all (bad version header).
   Result<CatalogLoadReport> RecoverFromString(const std::string& text);
 
-  /// Atomic, durable save: tmp file + fsync + rename (see class comment).
+  /// Atomic, durable save in the v2 text format: tmp file + fsync +
+  /// rename (see class comment).
   Status SaveToFile(const std::string& path) const;
 
-  /// Strict load; Corruption on the first bad entry.
+  /// Atomic, durable save in the v3 binary format — same tmp + fsync +
+  /// rename machinery and the same catalog.save.* fault points.
+  Status SaveToFileV3(const std::string& path) const;
+
+  /// Strict load, any format; Corruption on the first bad entry.
   Status LoadFromFile(const std::string& path);
 
-  /// Recovering load (see RecoverFromString).
+  /// Recovering load, any format (see RecoverFromString).
   Result<CatalogLoadReport> RecoverFromFile(const std::string& path);
 
  private:
   std::string SaveToStringLocked() const;
   Result<CatalogLoadReport> LoadImpl(const std::string& text, bool recover);
+  Result<CatalogLoadReport> LoadV3Impl(const std::string& bytes,
+                                       bool recover);
 
   mutable std::mutex mu_;
   std::map<std::string, IndexStats> entries_;  // Guarded by mu_.
   // index name -> why its entry was quarantined. Guarded by mu_.
   std::map<std::string, std::string> quarantined_;
+  // Publish generation counter. Guarded by mu_.
+  uint64_t publish_generation_ = 0;
+  // The RCU-published snapshot. Atomic shared_ptr: readers load, Publish
+  // stores; no mutex on the read side.
+  std::atomic<std::shared_ptr<const CatalogSnapshot>> snapshot_{
+      CatalogSnapshot::Empty()};
 };
 
 }  // namespace epfis

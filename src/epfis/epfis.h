@@ -15,7 +15,16 @@
 ///   // Query-compilation time — cheap formula evaluation:
 ///   ScanSpec scan{.sigma = 0.07, .sargable_selectivity = 1.0,
 ///                 .buffer_pages = 500};
-///   double fetches = EstimatePageFetches(stats, scan);
+///   EPFIS_ASSIGN_OR_RETURN(double fetches, EstIo::Estimate(stats, scan));
+///
+///   // Serving time — publish once, then batch lock-free estimates:
+///   stats_catalog.Publish();
+///   auto snapshot = stats_catalog.snapshot();
+///   CatalogSnapshot::Handle h = snapshot->Resolve("idx");
+///   std::vector<BatchProbe> probes = {{h, scan, shape}, ...};
+///   std::vector<CatalogEstimate> results(probes.size());
+///   EPFIS_RETURN_IF_ERROR(
+///       EstIo::EstimateBatch(*snapshot, probes, results));
 
 #include "epfis/est_io.h"      // IWYU pragma: export
 #include "epfis/fpf_curve.h"   // IWYU pragma: export

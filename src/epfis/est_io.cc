@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
 
 #include "catalog/stats_catalog.h"
 #include "obs/metrics.h"
@@ -22,6 +26,8 @@ struct EstIoMetrics {
   Counter sargable_reductions;
   Counter clamped;
   Counter degraded;
+  Counter batches;
+  Counter batch_probes;
 
   static EstIoMetrics& Get() {
     static EstIoMetrics* metrics = [] {
@@ -36,6 +42,8 @@ struct EstIoMetrics {
           registry.GetCounter("est_io.sargable_reductions");
       m->clamped = registry.GetCounter("est_io.clamped_at_qualifying");
       m->degraded = registry.GetCounter("est_io.degraded");
+      m->batches = registry.GetCounter("est_io.batches");
+      m->batch_probes = registry.GetCounter("est_io.batch_probes");
       return m;
     }();
     return *metrics;
@@ -61,78 +69,26 @@ Status ValidateScanSpec(const ScanSpec& scan) {
   return Status::Ok();
 }
 
-}  // namespace
-
-Result<double> EstIo::Estimate(const IndexStats& stats, const ScanSpec& scan,
-                               const EstIoOptions& options) {
-  EPFIS_RETURN_IF_ERROR(ValidateScanSpec(scan));
-  return EstimatePageFetches(stats, scan, options);
-}
-
-Result<CatalogEstimate> EstIo::EstimateFromCatalog(
-    const StatsCatalog& catalog, const std::string& index_name,
-    const ScanSpec& scan, const TableShape& shape,
-    const EstIoOptions& options) {
-  EPFIS_RETURN_IF_ERROR(ValidateScanSpec(scan));
-  // The fault point feeds the injected status through the same switch as
-  // a real catalog miss, so degraded mode can be drilled without first
-  // corrupting a file on disk.
-  Status lookup_fault = FaultPoint("est_io.lookup");
-  Result<IndexStats> stats =
-      lookup_fault.ok() ? catalog.Get(index_name) : Result<IndexStats>(lookup_fault);
-  if (stats.ok()) {
-    CatalogEstimate out;
-    out.fetches = EstimatePageFetches(*stats, scan, options);
-    out.source = EstimateSource::kLruFitCurve;
-    return out;
-  }
-  StatusCode code = stats.status().code();
-  if (code != StatusCode::kNotFound && code != StatusCode::kCorruption) {
-    // Not a "statistics unavailable" condition — an I/O or internal
-    // error deserves to surface, not to be papered over with a formula.
-    return stats.status();
-  }
-  EstIoMetrics::Get().degraded.Increment();
-
-  // Degraded mode: no trusted FPF curve, so fall back to the classical
-  // uniform-access estimates over the coarse table shape. k qualifying
-  // records touch at most k pages; Yao's without-replacement model is the
-  // better fit when the record count is known, Cardenas otherwise.
-  double t = static_cast<double>(shape.table_pages);
-  double n = static_cast<double>(shape.table_records);
-  double k = scan.sigma * scan.sargable_selectivity * n;
-  double estimate;
-  if (t < 1.0) {
-    estimate = k;  // Shape unknown too: records is the only upper bound.
-  } else if (n >= 1.0) {
-    estimate = YaoPages(n, t, k);
-  } else {
-    estimate = CardenasPages(t, k);
-  }
-  CatalogEstimate out;
-  out.fetches = Clamp(estimate, 0.0, std::max(k, 0.0));
-  out.source = EstimateSource::kFormulaFallback;
-  out.stats_status = stats.status();
-  return out;
-}
-
-Result<double> EstIo::EstimateFullScan(const IndexStats& stats,
-                                       uint64_t buffer_pages) {
-  if (buffer_pages == 0) {
+// NaN fails the > checks, so it is rejected along with non-positives.
+Status ValidateOptions(const EstIoOptions& options) {
+  if (!(options.nu_threshold > 0.0)) {
     EstIoMetrics::Get().rejected.Increment();
-    return Status::InvalidArgument("Est-IO: buffer_pages must be >= 1");
+    return Status::InvalidArgument("Est-IO: nu_threshold must be positive");
   }
-  return EstimateFullScanFetches(stats, buffer_pages);
+  if (!(options.correction_divisor > 0.0)) {
+    EstIoMetrics::Get().rejected.Increment();
+    return Status::InvalidArgument(
+        "Est-IO: correction_divisor must be positive");
+  }
+  return Status::Ok();
 }
 
-double EstimateFullScanFetches(const IndexStats& stats,
-                               uint64_t buffer_pages) {
-  EstIoMetrics::Get().full_scans.Increment();
-  return stats.FullScanFetches(static_cast<double>(buffer_pages));
-}
-
-double EstimatePageFetches(const IndexStats& stats, const ScanSpec& scan,
-                           const EstIoOptions& options) {
+// The one evaluation core (paper §4.3 steps 4-7). Every public entry
+// point — legacy wrapper, validating single-probe, catalog-backed, and
+// batch — funnels through this function over an IndexStatsView, which is
+// what makes their results bit-identical by construction.
+double EstimatePagesCore(const IndexStatsView& view, const ScanSpec& scan,
+                         const EstIoOptions& options) {
   EstIoMetrics& metrics = EstIoMetrics::Get();
   metrics.estimates.Increment();
 
@@ -140,13 +96,13 @@ double EstimatePageFetches(const IndexStats& stats, const ScanSpec& scan,
   double s_sarg = Clamp(scan.sargable_selectivity, 0.0, 1.0);
   if (sigma == 0.0 || s_sarg == 0.0) return 0.0;
 
-  double t = static_cast<double>(stats.table_pages);
-  double n = static_cast<double>(stats.table_records);
+  double t = static_cast<double>(view.table_pages);
+  double n = static_cast<double>(view.table_records);
   double b = static_cast<double>(scan.buffer_pages);
-  double c = Clamp(stats.clustering, 0.0, 1.0);
+  double c = Clamp(view.clustering, 0.0, 1.0);
 
   // Step 4: PF_B from the segment approximation.
-  double pf_b = stats.FullScanFetches(b);
+  double pf_b = FullScanFetchesAt(view, b);
 
   // Step 5: linear scaling by the range selectivity.
   double estimate = sigma * pf_b;
@@ -194,6 +150,206 @@ double EstimatePageFetches(const IndexStats& stats, const ScanSpec& scan,
   double qualifying = s_sarg * sigma * n;
   if (estimate > qualifying) metrics.clamped.Increment();
   return Clamp(estimate, 0.0, qualifying);
+}
+
+double FullScanCore(const IndexStats& stats, uint64_t buffer_pages) {
+  EstIoMetrics::Get().full_scans.Increment();
+  return stats.FullScanFetches(static_cast<double>(buffer_pages));
+}
+
+// Degraded mode: no trusted FPF curve, so fall back to the classical
+// uniform-access estimates over the coarse table shape. k qualifying
+// records touch at most k pages; Yao's without-replacement model is the
+// better fit when the record count is known, Cardenas otherwise.
+CatalogEstimate DegradedEstimate(const ScanSpec& scan,
+                                 const TableShape& shape,
+                                 Status stats_status) {
+  EstIoMetrics::Get().degraded.Increment();
+  double t = static_cast<double>(shape.table_pages);
+  double n = static_cast<double>(shape.table_records);
+  double k = scan.sigma * scan.sargable_selectivity * n;
+  double estimate;
+  if (t < 1.0) {
+    estimate = k;  // Shape unknown too: records is the only upper bound.
+  } else if (n >= 1.0) {
+    estimate = YaoPages(n, t, k);
+  } else {
+    estimate = CardenasPages(t, k);
+  }
+  CatalogEstimate out;
+  out.fetches = Clamp(estimate, 0.0, std::max(k, 0.0));
+  out.source = EstimateSource::kFormulaFallback;
+  out.stats_status = std::move(stats_status);
+  return out;
+}
+
+// The shared lookup/fallback/provenance path for snapshot-backed
+// estimation: single-probe EstimateFromCatalog and every EstimateBatch
+// probe land here, so their estimates (and provenance) cannot diverge.
+// Preconditions: the scan spec and options are already validated, and
+// `handle` is either invalid or a slot inside `snapshot`.
+CatalogEstimate EstimateResolvedProbe(const CatalogSnapshot& snapshot,
+                                      CatalogSnapshot::Handle handle,
+                                      const ScanSpec& scan,
+                                      const TableShape& shape,
+                                      const EstIoOptions& options) {
+  if (!handle.valid()) {
+    return DegradedEstimate(
+        scan, shape, Status::NotFound("Est-IO: no statistics for index"));
+  }
+  const CatalogSnapshot::Entry& entry = snapshot.EntryAt(handle);
+  if (entry.quarantined) {
+    return DegradedEstimate(
+        scan, shape,
+        Status::Corruption("Est-IO: statistics quarantined: " +
+                           std::string(entry.quarantine_reason)));
+  }
+  CatalogEstimate out;
+  out.fetches = EstimatePagesCore(entry.view, scan, options);
+  out.source = EstimateSource::kLruFitCurve;
+  return out;
+}
+
+}  // namespace
+
+Result<double> EstIo::Estimate(const IndexStats& stats, const ScanSpec& scan,
+                               const EstIoOptions& options) {
+  EPFIS_RETURN_IF_ERROR(ValidateOptions(options));
+  EPFIS_RETURN_IF_ERROR(ValidateScanSpec(scan));
+  return EstimatePagesCore(stats.View(), scan, options);
+}
+
+Result<CatalogEstimate> EstIo::EstimateFromCatalog(
+    const StatsCatalog& catalog, const std::string& index_name,
+    const ScanSpec& scan, const TableShape& shape,
+    const EstIoOptions& options) {
+  EPFIS_RETURN_IF_ERROR(ValidateOptions(options));
+  EPFIS_RETURN_IF_ERROR(ValidateScanSpec(scan));
+  // The fault point feeds the injected status through the same switch as
+  // a real catalog miss, so degraded mode can be drilled without first
+  // corrupting a file on disk.
+  Status lookup_fault = FaultPoint("est_io.lookup");
+  Result<IndexStats> stats = lookup_fault.ok()
+                                 ? catalog.Get(index_name)
+                                 : Result<IndexStats>(lookup_fault);
+  if (stats.ok()) {
+    CatalogEstimate out;
+    out.fetches = EstimatePagesCore(stats->View(), scan, options);
+    out.source = EstimateSource::kLruFitCurve;
+    return out;
+  }
+  StatusCode code = stats.status().code();
+  if (code != StatusCode::kNotFound && code != StatusCode::kCorruption) {
+    // Not a "statistics unavailable" condition — an I/O or internal
+    // error deserves to surface, not to be papered over with a formula.
+    return stats.status();
+  }
+  return DegradedEstimate(scan, shape, stats.status());
+}
+
+Result<CatalogEstimate> EstIo::EstimateFromCatalog(
+    const CatalogSnapshot& snapshot, const std::string& index_name,
+    const ScanSpec& scan, const TableShape& shape,
+    const EstIoOptions& options) {
+  EPFIS_RETURN_IF_ERROR(ValidateOptions(options));
+  EPFIS_RETURN_IF_ERROR(ValidateScanSpec(scan));
+  // Same drill point as the mutex-taking overload; an injected
+  // NotFound/Corruption exercises degraded mode, anything else surfaces.
+  Status lookup_fault = FaultPoint("est_io.lookup");
+  if (!lookup_fault.ok()) {
+    StatusCode code = lookup_fault.code();
+    if (code != StatusCode::kNotFound && code != StatusCode::kCorruption) {
+      return lookup_fault;
+    }
+    return DegradedEstimate(scan, shape, lookup_fault);
+  }
+  return EstimateResolvedProbe(snapshot, snapshot.Resolve(index_name), scan,
+                               shape, options);
+}
+
+Status EstIo::EstimateBatch(const CatalogSnapshot& snapshot,
+                            std::span<const BatchProbe> probes,
+                            std::span<CatalogEstimate> results,
+                            const EstIoOptions& options) {
+  if (results.size() < probes.size()) {
+    return Status::InvalidArgument(
+        "Est-IO: results span smaller than probes span");
+  }
+  EPFIS_RETURN_IF_ERROR(ValidateOptions(options));
+  // A valid handle whose slot is out of range is a caller bug (a handle
+  // resolved against a *different* snapshot), not a degradable per-probe
+  // condition: fail the batch before estimating anything.
+  for (const BatchProbe& probe : probes) {
+    if (probe.index.valid() && probe.index.slot >= snapshot.size()) {
+      return Status::InvalidArgument(
+          "Est-IO: batch probe handle does not belong to this snapshot");
+    }
+  }
+
+  EstIoMetrics& metrics = EstIoMetrics::Get();
+  metrics.batches.Increment();
+  metrics.batch_probes.Increment(probes.size());
+
+  // Process probes grouped by index slot so each entry's knot segments
+  // stay hot in cache across its probes. Results are written in probe
+  // order and each probe is independent, so the grouping never changes a
+  // result. The permutation is skipped when probes already arrive
+  // grouped (the common case: one batch per index, or a caller that
+  // sorted).
+  bool grouped = true;
+  for (size_t i = 1; i < probes.size(); ++i) {
+    if (probes[i].index.slot < probes[i - 1].index.slot) {
+      grouped = false;
+      break;
+    }
+  }
+
+  auto estimate_one = [&](size_t i) {
+    const BatchProbe& probe = probes[i];
+    Status spec = ValidateScanSpec(probe.scan);
+    if (!spec.ok()) {
+      CatalogEstimate out;
+      out.fetches = 0.0;
+      out.source = EstimateSource::kRejected;
+      out.stats_status = std::move(spec);
+      results[i] = std::move(out);
+      return;
+    }
+    results[i] = EstimateResolvedProbe(snapshot, probe.index, probe.scan,
+                                       probe.shape, options);
+  };
+
+  if (grouped) {
+    for (size_t i = 0; i < probes.size(); ++i) estimate_one(i);
+  } else {
+    std::vector<uint32_t> order(probes.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return probes[a].index.slot < probes[b].index.slot;
+                     });
+    for (uint32_t i : order) estimate_one(i);
+  }
+  return Status::Ok();
+}
+
+Result<double> EstIo::EstimateFullScan(const IndexStats& stats,
+                                       uint64_t buffer_pages) {
+  if (buffer_pages == 0) {
+    EstIoMetrics::Get().rejected.Increment();
+    return Status::InvalidArgument("Est-IO: buffer_pages must be >= 1");
+  }
+  return FullScanCore(stats, buffer_pages);
+}
+
+double EstimateFullScanFetches(const IndexStats& stats,
+                               uint64_t buffer_pages) {
+  return FullScanCore(stats, buffer_pages);
+}
+
+double EstimatePageFetches(const IndexStats& stats, const ScanSpec& scan,
+                           const EstIoOptions& options) {
+  return EstimatePagesCore(stats.View(), scan, options);
 }
 
 }  // namespace epfis

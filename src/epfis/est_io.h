@@ -2,8 +2,10 @@
 #define EPFIS_EPFIS_EST_IO_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
+#include "catalog/catalog_snapshot.h"
 #include "epfis/index_stats.h"
 #include "util/result.h"
 
@@ -21,11 +23,18 @@ enum class PhiMode {
 };
 
 /// Options for Subprogram Est-IO.
+///
+/// The validating EstIo entry points reject NaN or non-positive
+/// `nu_threshold` / `correction_divisor` with InvalidArgument (a zero
+/// divisor would turn the damping factor into a silent NaN/inf estimate);
+/// the legacy double-returning wrappers do not validate, matching their
+/// clamp-don't-reject contract.
 struct EstIoOptions {
   PhiMode phi_mode = PhiMode::kPaperMax;
-  /// nu = 1 iff phi >= nu_threshold * sigma (paper: 3).
+  /// nu = 1 iff phi >= nu_threshold * sigma (paper: 3). Must be > 0.
   double nu_threshold = 3.0;
   /// Damping divisor in min(1, phi / (divisor * sigma)) (paper: 6).
+  /// Must be > 0.
   double correction_divisor = 6.0;
   /// Apply the heuristic correction term at all (for ablations).
   bool enable_correction = true;
@@ -54,6 +63,11 @@ enum class EstimateSource {
   /// the coarse table shape. Coarser (no buffer-size dependence, no
   /// clustering), but never blocks compilation on a corrupt catalog.
   kFormulaFallback,
+  /// Batch-only: the probe's scan spec was invalid (see
+  /// EstIo::EstimateBatch). fetches is 0 and stats_status carries the
+  /// InvalidArgument explaining what was wrong; a rejected probe never
+  /// fails its batch-mates.
+  kRejected,
 };
 
 /// Coarse physical description of the scanned table, used only when the
@@ -69,9 +83,23 @@ struct TableShape {
 struct CatalogEstimate {
   double fetches = 0.0;
   EstimateSource source = EstimateSource::kLruFitCurve;
-  /// Why the fallback fired (NotFound / Corruption); Ok when the full
-  /// model was used.
+  /// Why the fallback fired (NotFound / Corruption) or the probe was
+  /// rejected (InvalidArgument); Ok when the full model was used.
   Status stats_status = Status::Ok();
+};
+
+/// One probe of a batched estimate: a pre-resolved index handle plus the
+/// scan being costed against it. Resolve the handle once per distinct
+/// index (CatalogSnapshot::Resolve) and reuse it across the batch — that
+/// is the point of the batch API: the name lookup leaves the hot loop.
+struct BatchProbe {
+  /// Handle into the *same* snapshot passed to EstimateBatch. An invalid
+  /// handle (the Resolve miss value) degrades that probe to the formula
+  /// fallback with NotFound provenance — same contract as a by-name miss.
+  CatalogSnapshot::Handle index;
+  ScanSpec scan;
+  /// Fallback shape for degraded probes (missing/quarantined entries).
+  TableShape shape;
 };
 
 /// Validating entry points for Subprogram Est-IO. These are the preferred
@@ -79,15 +107,17 @@ struct CatalogEstimate {
 /// rejected with InvalidArgument instead of being silently clamped into
 /// range the way the legacy double-returning functions below do.
 struct EstIo {
-  /// Validated EstimatePageFetches. Fails with InvalidArgument when
+  /// Validated page-fetch estimate. Fails with InvalidArgument when
   /// `scan.sigma` is outside [0, 1], `scan.sargable_selectivity` is
-  /// outside (0, 1], or `scan.buffer_pages` is 0 (a scan with no buffer
-  /// cannot be costed by the FPF model); NaNs are rejected too.
+  /// outside (0, 1], `scan.buffer_pages` is 0 (a scan with no buffer
+  /// cannot be costed by the FPF model), or `options` carries a NaN or
+  /// non-positive threshold/divisor; NaNs in the scan are rejected too.
   static Result<double> Estimate(const IndexStats& stats,
                                  const ScanSpec& scan,
                                  const EstIoOptions& options = {});
 
-  /// Validated EstimateFullScanFetches; rejects `buffer_pages == 0`.
+  /// Validated full-scan estimate (PF_B alone); rejects
+  /// `buffer_pages == 0`.
   static Result<double> EstimateFullScan(const IndexStats& stats,
                                          uint64_t buffer_pages);
 
@@ -99,10 +129,51 @@ struct EstIo {
   /// compilation, marks the result kFormulaFallback, and bumps the
   /// `est_io.degraded` counter. Scan-spec validation errors and
   /// unexpected catalog errors still fail.
+  ///
+  /// This overload takes the catalog's mutex for the lookup. Serving
+  /// paths should prefer the CatalogSnapshot overload below, which is
+  /// lock-free.
   static Result<CatalogEstimate> EstimateFromCatalog(
       const StatsCatalog& catalog, const std::string& index_name,
       const ScanSpec& scan, const TableShape& shape,
       const EstIoOptions& options = {});
+
+  /// Lock-free form of the same contract, reading an immutable published
+  /// snapshot (StatsCatalog::snapshot() or OpenCatalogSnapshotV3). No
+  /// mutex, no allocation on the curve path; missing and quarantined
+  /// entries degrade exactly as above. Single-probe and batched
+  /// estimation share this lookup/fallback/provenance path, so for any
+  /// probe the two produce bit-identical results.
+  static Result<CatalogEstimate> EstimateFromCatalog(
+      const CatalogSnapshot& snapshot, const std::string& index_name,
+      const ScanSpec& scan, const TableShape& shape,
+      const EstIoOptions& options = {});
+
+  /// Batched serving entry point: estimates every probe against one
+  /// immutable snapshot and writes results[i] for probes[i].
+  ///
+  /// Semantics per probe, in order:
+  ///   - invalid scan spec        -> kRejected, fetches 0, InvalidArgument
+  ///   - invalid/unknown handle   -> kFormulaFallback, NotFound
+  ///   - quarantined entry        -> kFormulaFallback, Corruption
+  ///   - otherwise                -> kLruFitCurve via the FPF model
+  ///
+  /// A probe never fails the batch; the returned Status is non-OK only
+  /// for caller errors (results smaller than probes, handle slot out of
+  /// range for this snapshot, invalid options). Probes are processed
+  /// grouped by index slot for cache locality, but results land in probe
+  /// order and each is computed independently, so the grouping is
+  /// unobservable: results[i] is bit-identical to a lone
+  /// EstimateFromCatalog(snapshot, ...) call for the same probe.
+  ///
+  /// Thread-safe with no synchronization: the snapshot is immutable and
+  /// all mutable state is in `results`. Concurrent StatsCatalog::Publish
+  /// calls never affect a batch in flight — the batch reads the snapshot
+  /// it was handed, not the catalog.
+  static Status EstimateBatch(const CatalogSnapshot& snapshot,
+                              std::span<const BatchProbe> probes,
+                              std::span<CatalogEstimate> results,
+                              const EstIoOptions& options = {});
 };
 
 /// Subprogram Est-IO (§4.2): estimates the number of data-page fetches for
@@ -121,14 +192,22 @@ struct EstIo {
 ///
 /// Legacy thin wrapper around the same computation as EstIo::Estimate:
 /// instead of validating, it clamps sigma and sargable_selectivity into
-/// range and treats buffer_pages == 0 as an empty buffer. New callers
-/// should prefer EstIo::Estimate so input bugs surface as errors.
-double EstimatePageFetches(const IndexStats& stats, const ScanSpec& scan,
-                           const EstIoOptions& options = {});
+/// range and treats buffer_pages == 0 as an empty buffer. Deprecated:
+/// new callers should use EstIo::Estimate (or EstIo::EstimateBatch for
+/// serving) so input bugs surface as errors; the pinned clamping
+/// behavior is regression-tested in tests/epfis/est_io_legacy_test.cc.
+[[deprecated(
+    "use EstIo::Estimate (validating) or EstIo::EstimateBatch")]]  //
+double
+EstimatePageFetches(const IndexStats& stats, const ScanSpec& scan,
+                    const EstIoOptions& options = {});
 
 /// PF_B alone: the full-scan page-fetch estimate at the given buffer size.
-/// Legacy thin wrapper; EstIo::EstimateFullScan is the validating form.
-double EstimateFullScanFetches(const IndexStats& stats, uint64_t buffer_pages);
+/// Legacy thin wrapper; deprecated in favor of the validating
+/// EstIo::EstimateFullScan.
+[[deprecated("use EstIo::EstimateFullScan")]]  //
+double
+EstimateFullScanFetches(const IndexStats& stats, uint64_t buffer_pages);
 
 }  // namespace epfis
 

@@ -4,8 +4,10 @@
 
 namespace epfis {
 
-double IndexStats::FullScanFetches(double buffer_size) const {
-  if (!fpf.has_value()) return 0.0;
+double FullScanFetchesAt(const IndexStatsView& view, double buffer_size) {
+  if (view.knots == nullptr || view.knot_count < 2) return 0.0;
+  const Knot* first = view.knots;
+  const Knot* last = view.knots + view.knot_count - 1;
   // The segments are a fit of measured F(B) samples and carry no
   // information outside the simulated knot range; extrapolating a steep
   // first or last segment can leave [A, N] entirely (below the first knot
@@ -13,14 +15,47 @@ double IndexStats::FullScanFetches(double buffer_size) const {
   // [A, N] clamp alone still breaks monotonicity in B). F(B) is
   // non-increasing, so the nearest boundary value is the tightest
   // defensible answer for an out-of-range query.
-  double b = std::clamp(buffer_size, fpf->min_x(), fpf->max_x());
-  double pf = fpf->Eval(b);
+  double b = std::clamp(buffer_size, first->x, last->x);
+  // Containing segment by binary search; b is in range, so the segment
+  // index needs no extrapolation branches, matching
+  // PiecewiseLinear::Eval's interior arithmetic exactly.
+  size_t hi = 1;
+  if (b >= last->x) {
+    hi = view.knot_count - 1;
+  } else if (b > first->x) {
+    hi = static_cast<size_t>(
+        std::upper_bound(first, last + 1, b,
+                         [](double v, const Knot& k) { return v < k.x; }) -
+        first);
+    hi = std::min<size_t>(hi, view.knot_count - 1);
+  }
+  const Knot& a = view.knots[hi - 1];
+  const Knot& c = view.knots[hi];
+  double slope = (c.y - a.y) / (c.x - a.x);
+  double pf = a.y + slope * (b - a.x);
   // A full scan fetches at least every accessed page once and never more
   // than once per index entry; the fit must respect that too.
-  double lo = static_cast<double>(pages_accessed);
-  double hi = static_cast<double>(table_records);
-  if (hi < lo) hi = lo;
-  return std::clamp(pf, lo, hi);
+  double lo = static_cast<double>(view.pages_accessed);
+  double hi_bound = static_cast<double>(view.table_records);
+  if (hi_bound < lo) hi_bound = lo;
+  return std::clamp(pf, lo, hi_bound);
+}
+
+IndexStatsView IndexStats::View() const {
+  IndexStatsView view;
+  view.table_pages = table_pages;
+  view.table_records = table_records;
+  view.pages_accessed = pages_accessed;
+  view.clustering = clustering;
+  if (fpf.has_value()) {
+    view.knots = fpf->knots().data();
+    view.knot_count = static_cast<uint32_t>(fpf->knots().size());
+  }
+  return view;
+}
+
+double IndexStats::FullScanFetches(double buffer_size) const {
+  return FullScanFetchesAt(View(), buffer_size);
 }
 
 }  // namespace epfis

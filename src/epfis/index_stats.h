@@ -1,6 +1,7 @@
 #ifndef EPFIS_EPFIS_INDEX_STATS_H_
 #define EPFIS_EPFIS_INDEX_STATS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -8,6 +9,31 @@
 #include "util/piecewise.h"
 
 namespace epfis {
+
+/// A borrowed, trivially-copyable view of the fields Est-IO actually reads
+/// when evaluating an estimate. Both the single-probe path (viewing an
+/// owned IndexStats) and the serving batch path (viewing a packed catalog
+/// v3 entry inside an mmap'd file) evaluate through this one shape, which
+/// is what makes the two paths bit-identical by construction.
+///
+/// The knot array is borrowed: whoever hands out a view guarantees the
+/// backing storage (the IndexStats, or the CatalogSnapshot holding the
+/// mapping) outlives it.
+struct IndexStatsView {
+  uint64_t table_pages = 0;    ///< T
+  uint64_t table_records = 0;  ///< N
+  uint64_t pages_accessed = 0; ///< A
+  double clustering = 0.0;     ///< C
+  const Knot* knots = nullptr; ///< FPF knots, ascending x; null = no curve.
+  uint32_t knot_count = 0;
+};
+
+/// PF_B over a raw knot view — the shared interpolation core. Clamps
+/// `buffer_size` into the knot range (never extrapolates), interpolates the
+/// containing segment, and clamps the value to the physical bounds [A, N].
+/// Branch-light: one binary search over the knot x's plus straight-line
+/// arithmetic, no per-entry allocation — the inner loop of EstimateBatch.
+double FullScanFetchesAt(const IndexStatsView& view, double buffer_size);
 
 /// Everything Subprogram LRU-Fit stores in the system catalog for one
 /// index, and everything Subprogram Est-IO consumes at query compilation
@@ -47,7 +73,12 @@ struct IndexStats {
   /// it are clamped to the nearest knot (never extrapolated — a steep end
   /// segment could otherwise leave [A, N] or break monotonicity in B).
   /// The result is additionally clamped to the physical bounds [A, N].
+  /// Delegates to FullScanFetchesAt(View(), b).
   double FullScanFetches(double buffer_size) const;
+
+  /// Borrows this entry's estimator-relevant fields. The view is valid
+  /// only while this IndexStats is alive and unmodified.
+  IndexStatsView View() const;
 };
 
 }  // namespace epfis

@@ -62,8 +62,8 @@ Result<std::vector<AccessPlan>> AccessPathOptimizer::EnumeratePlans(
     AccessPlan plan;
     plan.type = AccessPlan::Type::kIndexScan;
     plan.index_name = index.name;
-    plan.estimated_fetches =
-        EstimatePageFetches(stats, scan, options_.est_io);
+    EPFIS_ASSIGN_OR_RETURN(plan.estimated_fetches,
+                           EstIo::Estimate(stats, scan, options_.est_io));
     // Index order is the required order unless the query orders by a
     // different column, in which case this plan sorts its (selective)
     // output like the table scan does, scaled to the pages it produces.
@@ -114,8 +114,8 @@ Result<std::vector<AccessPlan>> AccessPathOptimizer::EnumeratePlans(
       AccessPlan plan;
       plan.type = AccessPlan::Type::kIndexScan;
       plan.index_name = index.name;
-      plan.estimated_fetches =
-          EstimatePageFetches(stats, scan, options_.est_io);
+      EPFIS_ASSIGN_OR_RETURN(plan.estimated_fetches,
+                             EstIo::Estimate(stats, scan, options_.est_io));
       plan.sort_cost = 0.0;
       plan.total_cost = plan.estimated_fetches;
       plans.push_back(plan);

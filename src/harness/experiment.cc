@@ -120,8 +120,9 @@ Result<ExperimentResult> RunErrorExperiment(const Dataset& dataset,
       spec.sigma = scan.sigma;
       spec.sargable_selectivity = config.sargable_selectivity;
       spec.buffer_pages = result.buffer_sizes[j];
-      double epfis_est =
-          EstimatePageFetches(result.stats, spec, config.est_io);
+      EPFIS_ASSIGN_OR_RETURN(
+          double epfis_est,
+          EstIo::Estimate(result.stats, spec, config.est_io));
       sum_est[0][j] += epfis_est;
       double denom = std::max(actual[j], 1.0);
       sum_rel_err[0][j] += std::fabs(epfis_est - actual[j]) / denom;

@@ -157,11 +157,12 @@ class FaultInjector {
 /// fault-sweep harness (tests add no points of their own; new production
 /// points must be appended here so the sweep covers them).
 inline constexpr const char* kAllFaultPoints[] = {
-    "catalog.save.open",   "catalog.save.write", "catalog.save.fsync",
-    "catalog.save.rename", "catalog.load.open",  "catalog.load.read",
-    "trace.save.open",     "trace.save.write",   "trace.open",
-    "trace.read.header",   "trace.read.body",    "trace.mmap.map",
-    "lru_fit.batch.job",   "sd.shard.task",      "est_io.lookup",
+    "catalog.save.open",    "catalog.save.write", "catalog.save.fsync",
+    "catalog.save.rename",  "catalog.load.open",  "catalog.load.read",
+    "catalog.publish.swap", "trace.save.open",    "trace.save.write",
+    "trace.open",           "trace.read.header",  "trace.read.body",
+    "trace.mmap.map",       "lru_fit.batch.job",  "sd.shard.task",
+    "est_io.lookup",
 };
 
 #if EPFIS_FAULTS_ENABLED

@@ -123,7 +123,7 @@ TEST(EstIoCorrectionGateTest, NuGateMatchesEquationOneOnBothSides) {
     double damping =
         std::min(1.0, phi / (options.correction_divisor * c.sigma));
     double base =
-        c.sigma * EstimateFullScanFetches(stats, c.buffer_pages);
+        c.sigma * EstIo::EstimateFullScan(stats, c.buffer_pages).value();
     double expected = base + nu * damping * (1.0 - c.clustering) *
                                  CardenasPages(t, c.sigma * n);
     expected = Clamp(expected, 0.0, c.sigma * n);
@@ -160,7 +160,7 @@ TEST(EstIoCorrectionGateTest, GateAndDampingShareTheSamePhi) {
   auto result = EstIo::Estimate(stats, scan);
   ASSERT_TRUE(result.ok());
 
-  double pf_500 = EstimateFullScanFetches(stats, 500);
+  double pf_500 = EstIo::EstimateFullScan(stats, 500).value();
   // Interpolated on the (300, 6000)-(600, 2500) segment: 6000 - 3500*2/3.
   EXPECT_NEAR(pf_500, 11000.0 / 3.0, 1e-9);
   double expected =

@@ -1,0 +1,94 @@
+// Pinned behavior of the deprecated double-returning Est-IO wrappers.
+//
+// EstimatePageFetches / EstimateFullScanFetches are kept (deprecated) for
+// out-of-tree callers that relied on clamp-don't-reject semantics: sigma
+// and sargable_selectivity silently clamp into range, buffer_pages == 0
+// computes on an empty buffer, and invalid input can never surface as an
+// error. This file is the one in-repo caller left on purpose — it pins
+// that contract, and pins the wrappers to the validating EstIo entry
+// points bit-for-bit on valid input (everything funnels through the same
+// evaluation core).
+#include "epfis/est_io.h"
+
+#include <gtest/gtest.h>
+
+// The whole point of this file is to call the deprecated API.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace epfis {
+namespace {
+
+IndexStats MakeStats(double clustering = 0.5) {
+  IndexStats stats;
+  stats.index_name = "legacy";
+  stats.table_pages = 1000;
+  stats.table_records = 40000;
+  stats.distinct_keys = 2000;
+  stats.pages_accessed = 1000;
+  stats.b_min = 12;
+  stats.b_max = 1000;
+  stats.f_min = 30000;
+  stats.clustering = clustering;
+  stats.fpf = PiecewiseLinear::FromKnots({{12, 30000},
+                                          {100, 15000},
+                                          {300, 6000},
+                                          {600, 2500},
+                                          {1000, 1000}})
+                  .value();
+  return stats;
+}
+
+TEST(EstIoLegacyTest, AgreesWithValidatingApiOnValidInput) {
+  IndexStats stats = MakeStats();
+  for (double sigma : {0.01, 0.2, 1.0}) {
+    for (double sarg : {0.1, 1.0}) {
+      ScanSpec scan{sigma, sarg, 300};
+      auto validated = EstIo::Estimate(stats, scan);
+      ASSERT_TRUE(validated.ok());
+      EXPECT_DOUBLE_EQ(*validated, EstimatePageFetches(stats, scan));
+    }
+  }
+  auto full = EstIo::EstimateFullScan(stats, 200);
+  ASSERT_TRUE(full.ok());
+  EXPECT_DOUBLE_EQ(*full, EstimateFullScanFetches(stats, 200));
+}
+
+TEST(EstIoLegacyTest, SigmaClampedToUnitInterval) {
+  IndexStats stats = MakeStats();
+  double over = EstimatePageFetches(stats, {1.7, 1.0, 300});
+  double exact = EstimatePageFetches(stats, {1.0, 1.0, 300});
+  EXPECT_DOUBLE_EQ(over, exact);
+  double under = EstimatePageFetches(stats, {-0.5, 1.0, 300});
+  EXPECT_EQ(under, 0.0);
+}
+
+TEST(EstIoLegacyTest, ZeroSargableSelectivityClampsToZero) {
+  // The validating API rejects sargable_selectivity = 0 (domain (0, 1]);
+  // the legacy wrapper clamps and returns the degenerate zero estimate.
+  IndexStats stats = MakeStats();
+  EXPECT_EQ(EstimatePageFetches(stats, {0.5, 0.0, 500}), 0.0);
+  EXPECT_EQ(EstimatePageFetches(stats, {0.5, -0.3, 500}), 0.0);
+}
+
+TEST(EstIoLegacyTest, ZeroBufferPagesStillComputes) {
+  // B = 0 is rejected by EstIo::Estimate but silently evaluated by the
+  // wrapper (the curve clamps at its leftmost knot).
+  IndexStats stats = MakeStats();
+  EXPECT_GE(EstimatePageFetches(stats, ScanSpec{0.5, 1.0, 0}), 0.0);
+  EXPECT_GE(EstimateFullScanFetches(stats, 0), 0.0);
+}
+
+TEST(EstIoLegacyTest, BadOptionThresholdsAreNotRejected) {
+  // Options validation is a validating-API behavior; the wrapper keeps
+  // computing (producing whatever the formula produces) so legacy callers
+  // never start seeing crashes from a new reject path.
+  IndexStats stats = MakeStats();
+  EstIoOptions options;
+  options.enable_correction = false;
+  options.correction_divisor = 0.0;  // Unused with correction disabled.
+  double est = EstimatePageFetches(stats, {0.5, 1.0, 300}, options);
+  EXPECT_NEAR(est, 0.5 * EstimateFullScanFetches(stats, 300), 1e-9);
+}
+
+}  // namespace
+}  // namespace epfis

@@ -34,6 +34,11 @@ IndexStats StatsWithClustering(double c) {
   return stats;
 }
 
+double Estimate(const IndexStats& stats, const ScanSpec& scan,
+                const EstIoOptions& options = {}) {
+  return EstIo::Estimate(stats, scan, options).value();
+}
+
 class EstIoPropertyTest
     : public ::testing::TestWithParam<std::tuple<double, double>> {};
 
@@ -43,7 +48,7 @@ TEST_P(EstIoPropertyTest, EstimateWithinPhysicalBounds) {
   for (double sigma :
        {0.0, 0.001, 0.01, 0.05, 0.1, 0.2, 0.34, 0.5, 0.8, 1.0}) {
     for (uint64_t b : {1ULL, 20ULL, 100ULL, 500ULL, 2000ULL, 5000ULL}) {
-      double est = EstimatePageFetches(stats, {sigma, s_sargable, b});
+      double est = Estimate(stats, {sigma, s_sargable, b});
       ASSERT_TRUE(std::isfinite(est));
       ASSERT_GE(est, 0.0);
       // Never more than one fetch per qualifying record.
@@ -61,7 +66,7 @@ TEST_P(EstIoPropertyTest, MonotoneInSargableSelectivity) {
     for (uint64_t b : {50ULL, 800ULL}) {
       double prev = -1.0;
       for (double s : {0.01, 0.1, 0.3, 0.6, 1.0}) {
-        double est = EstimatePageFetches(stats, {sigma, s, b});
+        double est = Estimate(stats, {sigma, s, b});
         ASSERT_GE(est, prev - 1e-9)
             << "c=" << c << " sigma=" << sigma << " b=" << b << " s=" << s;
         prev = est;
@@ -78,8 +83,7 @@ TEST_P(EstIoPropertyTest, MonotoneInSigmaWhenCorrectionDisabled) {
   for (uint64_t b : {20ULL, 400ULL, 2000ULL}) {
     double prev = -1.0;
     for (double sigma : {0.01, 0.05, 0.1, 0.3, 0.6, 1.0}) {
-      double est = EstimatePageFetches(stats, {sigma, s_sargable, b},
-                                       options);
+      double est = Estimate(stats, {sigma, s_sargable, b}, options);
       ASSERT_GE(est, prev - 1e-9) << "b=" << b << " sigma=" << sigma;
       prev = est;
     }
@@ -92,7 +96,7 @@ TEST_P(EstIoPropertyTest, FullScanNonIncreasingInBuffer) {
   IndexStats stats = StatsWithClustering(c);
   double prev = 1e300;
   for (uint64_t b = 20; b <= 2400; b += 20) {
-    double est = EstimateFullScanFetches(stats, b);
+    double est = EstIo::EstimateFullScan(stats, b).value();
     ASSERT_LE(est, prev + 1e-9) << "b=" << b;
     prev = est;
   }
@@ -110,10 +114,8 @@ TEST_P(EstIoPropertyTest, MoreClusteredNeverCostsMore) {
   IndexStats more = StatsWithClustering(std::min(1.0, c + 0.3));
   for (double sigma : {0.02, 0.1, 0.5, 1.0}) {
     for (uint64_t b : {20ULL, 200ULL, 2000ULL}) {
-      double est_less =
-          EstimatePageFetches(less, {sigma, s_sargable, b});
-      double est_more =
-          EstimatePageFetches(more, {sigma, s_sargable, b});
+      double est_less = Estimate(less, {sigma, s_sargable, b});
+      double est_more = Estimate(more, {sigma, s_sargable, b});
       ASSERT_LE(est_more, est_less + 1e-9)
           << "c=" << c << " sigma=" << sigma << " b=" << b;
     }

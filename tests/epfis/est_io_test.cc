@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "catalog/stats_catalog.h"
 #include "util/formulas.h"
 
 namespace epfis {
@@ -31,18 +32,26 @@ IndexStats MakeStats(double clustering = 0.5) {
   return stats;
 }
 
+double Estimate(const IndexStats& stats, const ScanSpec& scan,
+                const EstIoOptions& options = {}) {
+  return EstIo::Estimate(stats, scan, options).value();
+}
+
+double FullScan(const IndexStats& stats, uint64_t buffer_pages) {
+  return EstIo::EstimateFullScan(stats, buffer_pages).value();
+}
+
 TEST(EstIoTest, FullScanFollowsCurve) {
   IndexStats stats = MakeStats();
-  EXPECT_NEAR(EstimateFullScanFetches(stats, 12), 30000, 1e-9);
-  EXPECT_NEAR(EstimateFullScanFetches(stats, 100), 15000, 1e-9);
-  EXPECT_NEAR(EstimateFullScanFetches(stats, 200), 10500, 1e-9);  // Interp.
-  EXPECT_NEAR(EstimateFullScanFetches(stats, 1000), 1000, 1e-9);
+  EXPECT_NEAR(FullScan(stats, 12), 30000, 1e-9);
+  EXPECT_NEAR(FullScan(stats, 100), 15000, 1e-9);
+  EXPECT_NEAR(FullScan(stats, 200), 10500, 1e-9);  // Interp.
+  EXPECT_NEAR(FullScan(stats, 1000), 1000, 1e-9);
 }
 
 TEST(EstIoTest, ZeroSelectivityIsZero) {
   IndexStats stats = MakeStats();
-  EXPECT_EQ(EstimatePageFetches(stats, {0.0, 1.0, 500}), 0.0);
-  EXPECT_EQ(EstimatePageFetches(stats, {0.5, 0.0, 500}), 0.0);
+  EXPECT_EQ(Estimate(stats, {0.0, 1.0, 500}), 0.0);
 }
 
 TEST(EstIoTest, FullScanSigmaOneMatchesCurveValue) {
@@ -50,22 +59,22 @@ TEST(EstIoTest, FullScanSigmaOneMatchesCurveValue) {
   // sigma = 1: nu triggers only if phi >= 3, impossible with B <= T under
   // the paper's phi = max(1, B/T); estimate is exactly PF_B.
   ScanSpec scan{1.0, 1.0, 300};
-  EXPECT_NEAR(EstimatePageFetches(stats, scan), 6000.0, 1e-9);
+  EXPECT_NEAR(Estimate(stats, scan), 6000.0, 1e-9);
 }
 
 TEST(EstIoTest, LargeSigmaScalesLinearly) {
   IndexStats stats = MakeStats();
   // sigma = 0.5 > 1/3: correction off; estimate = sigma * PF_B.
   ScanSpec scan{0.5, 1.0, 300};
-  EXPECT_NEAR(EstimatePageFetches(stats, scan), 3000.0, 1e-9);
+  EXPECT_NEAR(Estimate(stats, scan), 3000.0, 1e-9);
 }
 
 TEST(EstIoTest, SmallSigmaGetsCorrection) {
   IndexStats stats = MakeStats(0.2);  // Quite unclustered.
   double sigma = 0.01;
   uint64_t b = 500;
-  double base = sigma * EstimateFullScanFetches(stats, b);
-  double est = EstimatePageFetches(stats, {sigma, 1.0, b});
+  double base = sigma * FullScan(stats, b);
+  double est = Estimate(stats, {sigma, 1.0, b});
   EXPECT_GT(est, base);  // Correction term added.
 
   // Hand-compute Equation 1: phi = max(1, 0.5) = 1, nu = 1 (1 >= 0.03),
@@ -79,8 +88,8 @@ TEST(EstIoTest, CorrectionDampedNearThreshold) {
   IndexStats stats = MakeStats(0.0);
   // sigma = 0.3: nu = 1 (1 >= 0.9), damping = min(1, 1/1.8) = 0.5556.
   double sigma = 0.3;
-  double est = EstimatePageFetches(stats, {sigma, 1.0, 500});
-  double base = sigma * EstimateFullScanFetches(stats, 500);
+  double est = Estimate(stats, {sigma, 1.0, 500});
+  double base = sigma * FullScan(stats, 500);
   double damping = 1.0 / (6.0 * sigma);
   double cardenas = CardenasPages(1000.0, sigma * 40000.0);
   EXPECT_NEAR(est, base + damping * cardenas, 1e-9);
@@ -89,23 +98,23 @@ TEST(EstIoTest, CorrectionDampedNearThreshold) {
 TEST(EstIoTest, NoCorrectionAboveNuThreshold) {
   IndexStats stats = MakeStats(0.0);
   // sigma = 0.4 > 1/3: nu = 0 under phi = 1.
-  double est = EstimatePageFetches(stats, {0.4, 1.0, 500});
-  EXPECT_NEAR(est, 0.4 * EstimateFullScanFetches(stats, 500), 1e-9);
+  double est = Estimate(stats, {0.4, 1.0, 500});
+  EXPECT_NEAR(est, 0.4 * FullScan(stats, 500), 1e-9);
 }
 
 TEST(EstIoTest, ClusteredIndexGetsNoCorrection) {
   IndexStats stats = MakeStats(1.0);  // (1 - C) = 0 kills the term.
   double sigma = 0.01;
-  double est = EstimatePageFetches(stats, {sigma, 1.0, 500});
-  EXPECT_NEAR(est, sigma * EstimateFullScanFetches(stats, 500), 1e-9);
+  double est = Estimate(stats, {sigma, 1.0, 500});
+  EXPECT_NEAR(est, sigma * FullScan(stats, 500), 1e-9);
 }
 
 TEST(EstIoTest, CorrectionCanBeDisabled) {
   IndexStats stats = MakeStats(0.0);
   EstIoOptions options;
   options.enable_correction = false;
-  double est = EstimatePageFetches(stats, {0.01, 1.0, 500}, options);
-  EXPECT_NEAR(est, 0.01 * EstimateFullScanFetches(stats, 500), 1e-9);
+  double est = Estimate(stats, {0.01, 1.0, 500}, options);
+  EXPECT_NEAR(est, 0.01 * FullScan(stats, 500), 1e-9);
 }
 
 TEST(EstIoTest, PhiMinModeShrinksCorrectionForSmallBuffers) {
@@ -116,14 +125,14 @@ TEST(EstIoTest, PhiMinModeShrinksCorrectionForSmallBuffers) {
   // is 0.6/0.9 < 1 while max-mode damping saturates at 1. (sigma is large
   // enough that the final estimate stays below the qualifying-records
   // clamp in both modes.)
-  double est_max = EstimatePageFetches(stats, {0.15, 1.0, 600});
-  double est_min = EstimatePageFetches(stats, {0.15, 1.0, 600}, min_mode);
+  double est_max = Estimate(stats, {0.15, 1.0, 600});
+  double est_min = Estimate(stats, {0.15, 1.0, 600}, min_mode);
   EXPECT_LT(est_min, est_max);
   // And with sigma large relative to B/T, min-mode disables nu entirely:
   // phi_min = 0.6 < 3 * 0.25 while phi_max = 1 >= 0.75.
-  double est_min2 = EstimatePageFetches(stats, {0.25, 1.0, 600}, min_mode);
-  EXPECT_NEAR(est_min2, 0.25 * EstimateFullScanFetches(stats, 600), 1e-9);
-  double est_max2 = EstimatePageFetches(stats, {0.25, 1.0, 600});
+  double est_min2 = Estimate(stats, {0.25, 1.0, 600}, min_mode);
+  EXPECT_NEAR(est_min2, 0.25 * FullScan(stats, 600), 1e-9);
+  double est_max2 = Estimate(stats, {0.25, 1.0, 600});
   EXPECT_GT(est_max2, est_min2);
 }
 
@@ -131,8 +140,8 @@ TEST(EstIoTest, SargablePredicateReducesEstimate) {
   IndexStats stats = MakeStats(0.5);
   ScanSpec plain{0.2, 1.0, 500};
   ScanSpec filtered{0.2, 0.1, 500};
-  double est_plain = EstimatePageFetches(stats, plain);
-  double est_filtered = EstimatePageFetches(stats, filtered);
+  double est_plain = Estimate(stats, plain);
+  double est_filtered = Estimate(stats, filtered);
   EXPECT_LT(est_filtered, est_plain);
   EXPECT_GT(est_filtered, 0.0);
 }
@@ -141,13 +150,12 @@ TEST(EstIoTest, SargableMatchesUrnFormula) {
   IndexStats stats = MakeStats(0.5);
   double sigma = 0.5, s = 0.25;
   uint64_t b = 300;
-  double base = EstimatePageFetches(stats, {sigma, 1.0, b});
+  double base = Estimate(stats, {sigma, 1.0, b});
   double t = 1000, n = 40000, c = 0.5;
   double q = c * sigma * t + (1 - c) * std::min(t, sigma * n);
   double k = s * sigma * n;
   double factor = 1.0 - std::pow(1.0 - 1.0 / q, k);
-  EXPECT_NEAR(EstimatePageFetches(stats, {sigma, s, b}), base * factor,
-              1e-6 * base);
+  EXPECT_NEAR(Estimate(stats, {sigma, s, b}), base * factor, 1e-6 * base);
 }
 
 TEST(EstIoTest, NeverExceedsQualifyingRecords) {
@@ -155,7 +163,7 @@ TEST(EstIoTest, NeverExceedsQualifyingRecords) {
   for (double sigma : {0.001, 0.01, 0.1, 0.5, 1.0}) {
     for (double s : {0.01, 0.5, 1.0}) {
       for (uint64_t b : {12ULL, 100ULL, 1000ULL}) {
-        double est = EstimatePageFetches(stats, {sigma, s, b});
+        double est = Estimate(stats, {sigma, s, b});
         EXPECT_LE(est, sigma * s * 40000.0 + 1e-9)
             << "sigma=" << sigma << " s=" << s << " b=" << b;
         EXPECT_GE(est, 0.0);
@@ -164,18 +172,11 @@ TEST(EstIoTest, NeverExceedsQualifyingRecords) {
   }
 }
 
-TEST(EstIoTest, SigmaClampedToUnitInterval) {
-  IndexStats stats = MakeStats();
-  double over = EstimatePageFetches(stats, {1.7, 1.0, 300});
-  double exact = EstimatePageFetches(stats, {1.0, 1.0, 300});
-  EXPECT_DOUBLE_EQ(over, exact);
-}
-
 TEST(EstIoTest, MonotoneInBufferSizeForFullScans) {
   IndexStats stats = MakeStats();
   double prev = 1e300;
   for (uint64_t b = 12; b <= 1000; b += 50) {
-    double est = EstimatePageFetches(stats, {1.0, 1.0, b});
+    double est = Estimate(stats, {1.0, 1.0, b});
     EXPECT_LE(est, prev + 1e-9) << "b=" << b;
     prev = est;
   }
@@ -186,21 +187,6 @@ TEST(EstIoTest, MissingCurveYieldsZeroFullScan) {
   stats.table_pages = 10;
   stats.table_records = 100;
   EXPECT_EQ(stats.FullScanFetches(5.0), 0.0);
-}
-
-TEST(EstIoValidatingTest, AgreesWithLegacyOnValidInput) {
-  IndexStats stats = MakeStats();
-  for (double sigma : {0.01, 0.2, 1.0}) {
-    for (double sarg : {0.1, 1.0}) {
-      ScanSpec scan{sigma, sarg, 300};
-      auto validated = EstIo::Estimate(stats, scan);
-      ASSERT_TRUE(validated.ok());
-      EXPECT_DOUBLE_EQ(*validated, EstimatePageFetches(stats, scan));
-    }
-  }
-  auto full = EstIo::EstimateFullScan(stats, 200);
-  ASSERT_TRUE(full.ok());
-  EXPECT_DOUBLE_EQ(*full, EstimateFullScanFetches(stats, 200));
 }
 
 TEST(EstIoValidatingTest, RejectsOutOfDomainSigma) {
@@ -233,8 +219,56 @@ TEST(EstIoValidatingTest, RejectsZeroBufferPages) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(EstIo::EstimateFullScan(stats, 0).status().code(),
             StatusCode::kInvalidArgument);
-  // The legacy wrappers still silently compute on the same inputs.
-  EXPECT_GE(EstimatePageFetches(stats, ScanSpec{0.5, 1.0, 0}), 0.0);
+}
+
+TEST(EstIoValidatingTest, RejectsBadOptionThresholds) {
+  IndexStats stats = MakeStats();
+  ScanSpec scan{0.5, 1.0, 300};
+  for (double bad : {0.0, -3.0, std::nan("")}) {
+    EstIoOptions options;
+    options.nu_threshold = bad;
+    auto result = EstIo::Estimate(stats, scan, options);
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+        << "nu_threshold=" << bad;
+
+    options = EstIoOptions{};
+    options.correction_divisor = bad;
+    result = EstIo::Estimate(stats, scan, options);
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+        << "correction_divisor=" << bad;
+  }
+  // Unusual but positive values are accepted.
+  EstIoOptions loose;
+  loose.nu_threshold = 0.5;
+  loose.correction_divisor = 100.0;
+  EXPECT_TRUE(EstIo::Estimate(stats, scan, loose).ok());
+}
+
+TEST(EstIoValidatingTest, BadOptionsRejectedOnEveryEntryPoint) {
+  IndexStats stats = MakeStats();
+  EstIoOptions bad;
+  bad.correction_divisor = 0.0;
+  ScanSpec scan{0.5, 1.0, 300};
+  TableShape shape{1000, 40000};
+
+  StatsCatalog catalog;
+  catalog.Put(stats);
+  EXPECT_EQ(EstIo::EstimateFromCatalog(catalog, "test", scan, shape, bad)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  auto snapshot = CatalogSnapshot::Build({{"test", stats}}, {}, 1);
+  EXPECT_EQ(EstIo::EstimateFromCatalog(*snapshot, "test", scan, shape, bad)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  BatchProbe probe{snapshot->Resolve("test"), scan, shape};
+  CatalogEstimate out;
+  EXPECT_EQ(EstIo::EstimateBatch(*snapshot, {&probe, 1}, {&out, 1}, bad)
+                .code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -94,6 +94,14 @@ class FaultSweepTest : public testing::Test {
     StatsCatalog loaded;
     record(loaded.LoadFromFile(catalog_path_));
 
+    // Catalog v3 binary save + autodetecting load round-trip (same
+    // open/write/fsync/rename and open/read points as the text format,
+    // through the binary encoder instead).
+    std::string v3_path = dir_ + "/sweep_" + tag + ".cat3";
+    record(catalog.SaveToFileV3(v3_path));
+    StatsCatalog v3_loaded;
+    record(v3_loaded.LoadFromFile(v3_path));
+
     // Trace save path (open/write).
     record(SavePageTrace(trace_, dir_ + "/sweep_" + tag + ".bin"));
 
@@ -157,6 +165,20 @@ class FaultSweepTest : public testing::Test {
     auto est =
         EstIo::EstimateFromCatalog(loaded, "ix_fixture", scan, shape);
     record(est.ok() ? Status::Ok() : est.status());
+
+    // Snapshot publish (catalog.publish.swap) + the lock-free serving
+    // read path. A failed publish must leave the previous snapshot
+    // current, so the batch below always has a coherent snapshot to read
+    // — possibly a stale or empty one, which degrades per probe instead
+    // of failing the batch.
+    record(catalog.Publish());
+    {
+      std::shared_ptr<const CatalogSnapshot> snapshot = catalog.snapshot();
+      std::vector<BatchProbe> probes = {
+          BatchProbe{snapshot->Resolve("ix_fixture"), scan, shape}};
+      std::vector<CatalogEstimate> results(probes.size());
+      record(EstIo::EstimateBatch(*snapshot, probes, results));
+    }
     return result;
   }
 

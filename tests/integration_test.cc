@@ -57,7 +57,7 @@ TEST_F(IntegrationTest, EstimateTracksMeasuredFetchesAcrossBufferSizes) {
                               pool.get(), range);
       ASSERT_TRUE(run.ok());
       double est =
-          EstimatePageFetches(*stats, {scan.sigma, 1.0, b});
+          EstIo::Estimate(*stats, {scan.sigma, 1.0, b}).value();
       double actual = static_cast<double>(run->data_page_fetches);
       // Generous per-scan envelope: the paper's accuracy claim is about
       // the metric aggregated over 200 scans; individual small scans on
@@ -89,8 +89,8 @@ TEST_F(IntegrationTest, CatalogPersistenceProducesIdenticalEstimates) {
 
   for (double sigma : {0.01, 0.1, 0.5, 1.0}) {
     for (uint64_t b : {30ULL, 100ULL, 500ULL}) {
-      EXPECT_DOUBLE_EQ(EstimatePageFetches(*stats, {sigma, 1.0, b}),
-                       EstimatePageFetches(*loaded, {sigma, 1.0, b}));
+      EXPECT_DOUBLE_EQ(EstIo::Estimate(*stats, {sigma, 1.0, b}).value(),
+                       EstIo::Estimate(*loaded, {sigma, 1.0, b}).value());
     }
   }
   std::remove(path.c_str());
@@ -172,7 +172,7 @@ TEST_F(IntegrationTest, FullScanEstimateMatchesMeasuredFullScan) {
     auto run = RunIndexScan(*dataset_->index(), *dataset_->table(),
                             pool.get(), KeyRange::All());
     ASSERT_TRUE(run.ok());
-    double est = EstimateFullScanFetches(*stats, b);
+    double est = EstIo::EstimateFullScan(*stats, b).value();
     double actual = static_cast<double>(run->data_page_fetches);
     // The 6-segment fit tracks the measured curve within a few percent.
     EXPECT_NEAR(est, actual, 0.05 * actual + 20.0) << "b=" << b;
