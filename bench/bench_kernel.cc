@@ -1,27 +1,36 @@
-// Old-vs-new Mattson kernel throughput on a large skewed trace.
+// Old-vs-new Mattson kernel throughput, plus the raw-speed surfaces the
+// kernel grew on top of it: the software-pipelined batch widths, the
+// hugepage arena, NUMA-pinned sharded scaling at 1/2/4/8 threads, and
+// the mmap / io_uring trace-ingestion paths.
 //
 // Generates a Zipf(theta) page trace (the reuse pattern of a secondary
 // index over a hot/cold table), runs the legacy StackDistanceSimulator
-// and the cache-conscious StackDistanceKernel over it single-threaded,
-// verifies the histograms are bit-identical, and reports throughput plus
-// the speedup. Optionally also times the sharded parallel path on top of
-// the kernel. Results are written to a JSON file so CI can track the
-// kernel's perf trajectory across commits.
+// as the reference, and times every variant against it. Every variant's
+// histogram is compared bit-for-bit with the legacy result — a perf win
+// that changes a bin is a bug, and CI fails on it.
 //
 // Flags:
 //   --refs=N      references in the trace        (default 10000000)
 //   --pages=N     distinct data pages            (default refs/50)
 //   --theta=F     Zipf skew                      (default 0.86)
-//   --threads=N   extra sharded-run workers (0 = skip)  (default 0)
+//   --threads=N   sharded-scaling sweep ceiling: runs 1,2,4,8,... up to N
+//                 (0 = skip the sweep)           (default 0)
+//   --pin=0|1     pin shard workers to CPUs, NUMA round-robin (default 1)
+//   --batch=N     pipeline batch width for the single-thread runs
+//                 (0 = kernel default)           (default 0)
+//   --sweep-batch=0|1  also time batch widths {1,2,4,8}  (default 1)
 //   --reps=N      timed repetitions, best-of-N   (default 3)
+//   --gate-mrefs=F fail (exit 1) if the single-thread kernel run falls
+//                 under F Mrefs/s (0 = no gate)  (default 0)
 //   --seed=S      RNG seed                       (default 42)
 //   --json=PATH   output JSON path               (default BENCH_kernel.json)
-//   --trace=PATH  also save the trace there, reload it through
-//                 OpenTraceSource (mmap when available), and time the
-//                 kernel over the streamed source (default: skip)
+//   --trace=PATH  also save the trace there and time ingestion through
+//                 OpenTraceSource (mmap) and the forced io_uring path
+//                 (default: skip)
 //
-// Acceptance target (ISSUE 2): kernel >= 3x legacy single-thread on the
-// default 10M-reference Zipf(0.86) trace.
+// Acceptance targets: kernel >= 3x legacy single-thread on the default
+// 10M-reference Zipf(0.86) trace (ISSUE 2); every variant bit-identical;
+// the scaling sweep published to BENCH_kernel.json for CI tracking.
 
 #include <chrono>
 #include <cstdint>
@@ -35,7 +44,11 @@
 #include "buffer/stack_distance_kernel.h"
 #include "epfis/trace_io.h"
 #include "epfis/trace_source.h"
+#include "epfis/uring_trace_source.h"
+#include "obs/metrics.h"
+#include "util/arena.h"
 #include "util/arg_parser.h"
+#include "util/numa.h"
 #include "util/random.h"
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
@@ -63,6 +76,15 @@ std::vector<PageId> MakeZipfTrace(uint64_t refs, uint64_t pages,
   return trace;
 }
 
+// One timed variant: what ran, how fast, and whether its histogram
+// matched the legacy reference exactly.
+struct VariantResult {
+  std::string name;
+  double seconds = 0;
+  bool bit_identical = false;
+  uint64_t detail = 0;  // Variant-specific (threads, batch, pins...).
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,8 +94,12 @@ int main(int argc, char** argv) {
   const uint64_t pages = static_cast<uint64_t>(
       args.GetInt("pages", static_cast<int64_t>(refs / 50)));
   const double theta = args.GetDouble("theta", 0.86);
-  const size_t threads = static_cast<size_t>(args.GetInt("threads", 0));
+  const size_t max_threads = static_cast<size_t>(args.GetInt("threads", 0));
+  const bool pin = args.GetBool("pin", true);
+  const size_t batch = static_cast<size_t>(args.GetInt("batch", 0));
+  const bool sweep_batch = args.GetBool("sweep-batch", true);
   const int reps = static_cast<int>(args.GetInt("reps", 3));
+  const double gate_mrefs = args.GetDouble("gate-mrefs", 0.0);
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   const std::string json_path = args.GetString("json", "BENCH_kernel.json");
   const std::string trace_path = args.GetString("trace", "");
@@ -83,6 +109,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const NumaTopology& topo = NumaTopology::Get();
+  std::cout << "topology: " << topo.num_nodes() << " NUMA node(s), "
+            << topo.num_cpus() << " CPU(s); hugepage arena "
+            << (HugePageArena::hugepages_enabled() ? "advising" : "off")
+            << "; io_uring "
+            << (UringTraceSource::Supported() ? "available" : "unavailable")
+            << '\n';
   std::cout << "generating Zipf(" << theta << ") trace: " << refs
             << " refs over " << pages << " pages...\n";
   std::vector<PageId> trace = MakeZipfTrace(refs, pages, theta, seed);
@@ -100,25 +133,27 @@ int main(int argc, char** argv) {
     if (r == 0 || s < legacy_s) legacy_s = s;
     if (r + 1 == reps) legacy = std::move(run);
   }
+  const StackDistanceHistogram& reference = legacy.histogram();
 
+  // The headline single-thread kernel run (at --batch if given).
   double kernel_s = 0;
   StackDistanceKernel kernel(trace.size());
   for (int r = 0; r < reps; ++r) {
     auto t0 = std::chrono::steady_clock::now();
     StackDistanceKernel run(trace.size());
+    if (batch > 0) run.set_pipeline_batch(batch);
     run.AccessAll(trace);
     double s = SecondsSince(t0);
     if (r == 0 || s < kernel_s) kernel_s = s;
     if (r + 1 == reps) kernel = std::move(run);
   }
 
-  auto t0 = std::chrono::steady_clock::now();  // Reused by optional runs.
-  bool identical = kernel.histogram() == legacy.histogram();
+  bool identical = kernel.histogram() == reference;
   double speedup = legacy_s / kernel_s;
   double legacy_mrefs = static_cast<double>(refs) / legacy_s / 1e6;
   double kernel_mrefs = static_cast<double>(refs) / kernel_s / 1e6;
 
-  TablePrinter table({"kernel", "seconds", "Mrefs/s", "speedup"});
+  TablePrinter table({"variant", "seconds", "Mrefs/s", "speedup"});
   table.AddRow()
       .Cell("legacy simulator")
       .Cell(legacy_s, 3)
@@ -130,55 +165,148 @@ int main(int argc, char** argv) {
       .Cell(kernel_mrefs, 2)
       .Cell(speedup, 2);
 
-  double parallel_s = 0;
-  if (threads > 1) {
-    ThreadPool pool(threads);
-    VectorTraceSource source = VectorTraceSource::View(trace);
-    t0 = std::chrono::steady_clock::now();
-    auto parallel = ComputeStackDistances(source, &pool);
-    parallel_s = SecondsSince(t0);
-    if (!parallel.ok()) {
-      std::cerr << parallel.status().ToString() << '\n';
-      return 1;
+  // Pipeline batch widths: single rep each — the point is the identity
+  // proof plus a trend line, not a headline number.
+  std::vector<VariantResult> batch_runs;
+  if (sweep_batch) {
+    for (size_t b : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      StackDistanceKernel run(trace.size());
+      run.set_pipeline_batch(b);
+      auto t0 = std::chrono::steady_clock::now();
+      run.AccessAll(trace);
+      VariantResult v;
+      v.name = "batch=" + std::to_string(b);
+      v.seconds = SecondsSince(t0);
+      v.bit_identical = run.histogram() == reference;
+      v.detail = b;
+      identical = identical && v.bit_identical;
+      batch_runs.push_back(v);
+      table.AddRow()
+          .Cell("kernel, " + v.name)
+          .Cell(v.seconds, 3)
+          .Cell(static_cast<double>(refs) / v.seconds / 1e6, 2)
+          .Cell(legacy_s / v.seconds, 2);
     }
-    identical = identical && (*parallel == legacy.histogram());
-    table.AddRow()
-        .Cell("kernel, " + std::to_string(threads) + " threads")
-        .Cell(parallel_s, 3)
-        .Cell(static_cast<double>(refs) / parallel_s / 1e6, 2)
-        .Cell(legacy_s / parallel_s, 2);
   }
+
+  // Hugepage arena A/B: advice off must be output-neutral; whether it is
+  // *speed*-neutral depends on the machine (containers without THP grant
+  // nothing either way — the JSON records the config so CI curves are
+  // comparable across hosts).
+  VariantResult no_huge;
+  {
+    bool saved = HugePageArena::set_hugepages_enabled(false);
+    StackDistanceKernel run(trace.size());
+    auto t0 = std::chrono::steady_clock::now();
+    run.AccessAll(trace);
+    no_huge.name = "hugepages-off";
+    no_huge.seconds = SecondsSince(t0);
+    no_huge.bit_identical = run.histogram() == reference;
+    HugePageArena::set_hugepages_enabled(saved);
+    identical = identical && no_huge.bit_identical;
+    table.AddRow()
+        .Cell("kernel, hugepages off")
+        .Cell(no_huge.seconds, 3)
+        .Cell(static_cast<double>(refs) / no_huge.seconds / 1e6, 2)
+        .Cell(legacy_s / no_huge.seconds, 2);
+  }
+
+  // Sharded scaling sweep: 1, 2, 4, 8, ... threads up to --threads, each
+  // on a pool whose workers are (optionally) pinned round-robin across
+  // NUMA nodes before they first-touch their shard structures.
+  std::vector<VariantResult> scaling;
+  for (size_t t = 1; t <= max_threads; t *= 2) {
+    ThreadPool::Options pool_options;
+    pool_options.pin_workers = pin;
+    ThreadPool pool(t, pool_options);
+    VectorTraceSource source = VectorTraceSource::View(trace);
+    double best_s = 0;
+    bool run_identical = false;
+    for (int r = 0; r < reps; ++r) {
+      if (Status st = source.Reset(); !st.ok()) {
+        std::cerr << st.ToString() << '\n';
+        return 1;
+      }
+      auto t0 = std::chrono::steady_clock::now();
+      auto parallel = ComputeStackDistances(source, &pool);
+      double s = SecondsSince(t0);
+      if (!parallel.ok()) {
+        std::cerr << parallel.status().ToString() << '\n';
+        return 1;
+      }
+      if (r == 0 || s < best_s) best_s = s;
+      run_identical = *parallel == reference;
+    }
+    VariantResult v;
+    v.name = "threads=" + std::to_string(t);
+    v.seconds = best_s;
+    v.bit_identical = run_identical;
+    v.detail = pool.pinned_workers();
+    identical = identical && v.bit_identical;
+    scaling.push_back(v);
+    table.AddRow()
+        .Cell("sharded, " + std::to_string(t) + " thread(s)" +
+              (pin ? ", pinned" : ""))
+        .Cell(best_s, 3)
+        .Cell(static_cast<double>(refs) / best_s / 1e6, 2)
+        .Cell(legacy_s / best_s, 2);
+  }
+
+  // Ingestion: the trace streamed back through the autodetected source
+  // (mmap on any reasonable host) and through the forced io_uring path.
   double mmap_s = 0;
+  double uring_s = 0;
+  uint64_t uring_fallbacks = 0;
   if (!trace_path.empty()) {
     if (Status s = SavePageTrace(trace, trace_path); !s.ok()) {
       std::cerr << s.ToString() << '\n';
       return 1;
     }
-    auto source = OpenTraceSource(trace_path);
-    if (!source.ok()) {
-      std::cerr << source.status().ToString() << '\n';
-      return 1;
-    }
-    t0 = std::chrono::steady_clock::now();
-    StackDistanceKernel streamed((*source)->size_hint().value_or(refs));
-    std::vector<PageId> chunk(size_t{1} << 16);
-    while (true) {
-      auto got = (*source)->Next(chunk.data(), chunk.size());
-      if (!got.ok()) {
-        std::cerr << got.status().ToString() << '\n';
-        return 1;
+    auto timed_stream = [&](const TraceOpenOptions& options,
+                            double* out_s) -> bool {
+      auto source = OpenTraceSource(trace_path, options);
+      if (!source.ok()) {
+        std::cerr << source.status().ToString() << '\n';
+        return false;
       }
-      if (*got == 0) break;
-      streamed.AccessAll(chunk.data(), *got);
-    }
-    mmap_s = SecondsSince(t0);
-    identical = identical && (streamed.histogram() == legacy.histogram());
+      auto t0 = std::chrono::steady_clock::now();
+      StackDistanceKernel streamed((*source)->size_hint().value_or(refs));
+      std::vector<PageId> chunk(size_t{1} << 16);
+      while (true) {
+        auto got = (*source)->Next(chunk.data(), chunk.size());
+        if (!got.ok()) {
+          std::cerr << got.status().ToString() << '\n';
+          return false;
+        }
+        if (*got == 0) break;
+        streamed.AccessAll(chunk.data(), *got);
+      }
+      *out_s = SecondsSince(t0);
+      identical = identical && (streamed.histogram() == reference);
+      return true;
+    };
+    if (!timed_stream({}, &mmap_s)) return 1;
     table.AddRow()
         .Cell("kernel, mmap-streamed trace")
         .Cell(mmap_s, 3)
         .Cell(static_cast<double>(refs) / mmap_s / 1e6, 2)
         .Cell(legacy_s / mmap_s, 2);
+    uint64_t fallbacks_before =
+        MetricsRegistry::Global().Snapshot().counters["trace.uring_fallbacks"];
+    TraceOpenOptions force;
+    force.force_uring = true;
+    if (!timed_stream(force, &uring_s)) return 1;
+    uring_fallbacks =
+        MetricsRegistry::Global().Snapshot().counters["trace.uring_fallbacks"] -
+        fallbacks_before;
+    table.AddRow()
+        .Cell(uring_fallbacks == 0 ? "kernel, io_uring-streamed trace"
+                                   : "kernel, io_uring (fell back)")
+        .Cell(uring_s, 3)
+        .Cell(static_cast<double>(refs) / uring_s / 1e6, 2)
+        .Cell(legacy_s / uring_s, 2);
   }
+
   table.Print(std::cout);
   std::cout << "bit-identical histograms: " << (identical ? "yes" : "NO (bug!)")
             << "\nkernel compactions: " << kernel.compactions() << '\n';
@@ -193,22 +321,71 @@ int main(int argc, char** argv) {
        << "  \"refs\": " << refs << ",\n"
        << "  \"pages\": " << pages << ",\n"
        << "  \"theta\": " << theta << ",\n"
+       << "  \"numa_nodes\": " << topo.num_nodes() << ",\n"
+       << "  \"cpus\": " << topo.num_cpus() << ",\n"
+       << "  \"hugepages_advised\": "
+       << (HugePageArena::hugepages_enabled() ? "true" : "false") << ",\n"
+       << "  \"huge_allocs\": " << HugePageArena::stats().huge_allocs
+       << ",\n"
+       << "  \"uring_supported\": "
+       << (UringTraceSource::Supported() ? "true" : "false") << ",\n"
        << "  \"legacy_seconds\": " << legacy_s << ",\n"
        << "  \"kernel_seconds\": " << kernel_s << ",\n"
        << "  \"legacy_mrefs_per_s\": " << legacy_mrefs << ",\n"
        << "  \"kernel_mrefs_per_s\": " << kernel_mrefs << ",\n"
-       << "  \"single_thread_speedup\": " << speedup << ",\n";
-  if (parallel_s > 0) {
-    json << "  \"parallel_threads\": " << threads << ",\n"
-         << "  \"parallel_seconds\": " << parallel_s << ",\n";
+       << "  \"single_thread_speedup\": " << speedup << ",\n"
+       << "  \"pipeline_batch\": "
+       << (batch > 0 ? batch : kernel.pipeline_batch()) << ",\n";
+  if (!batch_runs.empty()) {
+    json << "  \"batch_sweep\": [\n";
+    for (size_t i = 0; i < batch_runs.size(); ++i) {
+      const VariantResult& v = batch_runs[i];
+      json << "    {\"batch\": " << v.detail
+           << ", \"seconds\": " << v.seconds << ", \"mrefs_per_s\": "
+           << static_cast<double>(refs) / v.seconds / 1e6
+           << ", \"bit_identical\": "
+           << (v.bit_identical ? "true" : "false") << "}"
+           << (i + 1 < batch_runs.size() ? "," : "") << '\n';
+    }
+    json << "  ],\n";
+  }
+  json << "  \"hugepages_off_seconds\": " << no_huge.seconds << ",\n"
+       << "  \"hugepages_off_bit_identical\": "
+       << (no_huge.bit_identical ? "true" : "false") << ",\n";
+  if (!scaling.empty()) {
+    json << "  \"pin_workers\": " << (pin ? "true" : "false") << ",\n"
+         << "  \"scaling\": [\n";
+    double base = scaling.front().seconds;
+    for (size_t i = 0; i < scaling.size(); ++i) {
+      const VariantResult& v = scaling[i];
+      size_t threads = size_t{1} << i;
+      json << "    {\"threads\": " << threads
+           << ", \"seconds\": " << v.seconds << ", \"mrefs_per_s\": "
+           << static_cast<double>(refs) / v.seconds / 1e6
+           << ", \"speedup_vs_1t\": " << base / v.seconds
+           << ", \"pinned_workers\": " << v.detail
+           << ", \"bit_identical\": "
+           << (v.bit_identical ? "true" : "false") << "}"
+           << (i + 1 < scaling.size() ? "," : "") << '\n';
+    }
+    json << "  ],\n";
   }
   if (mmap_s > 0) {
     json << "  \"mmap_stream_seconds\": " << mmap_s << ",\n";
+  }
+  if (uring_s > 0) {
+    json << "  \"uring_stream_seconds\": " << uring_s << ",\n"
+         << "  \"uring_fallbacks\": " << uring_fallbacks << ",\n";
   }
   json << "  \"kernel_compactions\": " << kernel.compactions() << ",\n"
        << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
        << "}\n";
   std::cout << "wrote " << json_path << '\n';
 
+  if (gate_mrefs > 0 && kernel_mrefs < gate_mrefs) {
+    std::cerr << "FAIL: kernel " << kernel_mrefs << " Mrefs/s under the "
+              << gate_mrefs << " Mrefs/s floor\n";
+    return 1;
+  }
   return identical ? 0 : 1;
 }

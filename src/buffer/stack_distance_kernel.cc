@@ -17,9 +17,17 @@ constexpr size_t kMaxInitialWindow = size_t{1} << 16;
 // oversized slot array is scanned in full by every compaction.
 constexpr size_t kMaxInitialTableSize = size_t{1} << 17;
 
-// How far ahead AccessAll prefetches last-access slots. Far enough to
-// cover memory latency, near enough that the lines are still resident.
+// How far ahead the scalar (batch == 1) loop prefetches last-access
+// slots. Far enough to cover memory latency, near enough that the lines
+// are still resident.
 constexpr size_t kPrefetchAhead = 8;
+
+// Reuse spans at most this many bitmap words wide are resolved by a
+// direct popcount scan (CountRange) instead of the Fenwick prefix walk:
+// the scanned words end at the current timestamp, where every recent
+// reference just wrote, so they are L1-resident, and 16 words cover
+// 1024 timestamps — the hot-page majority of a skewed trace.
+constexpr uint64_t kScanWords = 16;
 
 size_t InitialWindow(size_t expected_refs, size_t window_hint) {
   if (window_hint > 0) return std::max<size_t>(window_hint, 2);
@@ -68,7 +76,17 @@ StackDistanceKernel::StackDistanceKernel(size_t expected_refs,
       inv_rate_(static_cast<double>(kSampleModulus) /
                 static_cast<double>(threshold_)),
       exact_cold_(sampling.enabled() && sampling.max_pages == 0) {
-  if (sampling_.max_pages > 0) sample_heap_.reserve(sampling_.max_pages + 1);
+  if (sampling_.max_pages > 0) {
+    sample_heap_.reserve(sampling_.max_pages + 1);
+    // The adaptive cap is a hard bound on the table's eventual size, so a
+    // load-triggered rehash may as well jump straight toward it. Only the
+    // *exact* bound is handed down: seeding the hint from the refs/8
+    // distinct-page guess was measured to cost ~13% end-to-end, because an
+    // overshooting quadruple inflates the compacted window (Compact keeps
+    // window >= table capacity to amortize its slot scans) and every
+    // Fenwick walk then spans a colder tree.
+    last_access_.SetGrowthHint(sampling_.max_pages + 1);
+  }
 }
 
 void StackDistanceKernel::Access(PageId page_id) {
@@ -97,8 +115,16 @@ void StackDistanceKernel::AccessSampled(PageId page_id) {
     // Every page in the table owns exactly one live bit, all at times
     // < now, so the bits at [prev, now) are table_size - bits_below_prev
     // (CountBelow(0) sums an empty prefix — no underflow when prev == 0).
-    uint64_t below = live_.CountBelow(static_cast<size_t>(prev));
-    uint64_t d = static_cast<uint64_t>(last_access_.size()) - below;
+    // Short spans count those bits directly off the (hot) bitmap words;
+    // long spans take the Fenwick walk. Same value either way.
+    uint64_t d;
+    if ((now_ >> 6) - (prev >> 6) <= kScanWords) {
+      d = live_.CountRange(static_cast<size_t>(prev),
+                           static_cast<size_t>(now_));
+    } else {
+      uint64_t below = live_.CountBelow(static_cast<size_t>(prev));
+      d = static_cast<uint64_t>(last_access_.size()) - below;
+    }
     if (!exact_cold_ && inv_rate_ != 1.0) {
       // Adaptive mode scales into the full-trace distance domain at the
       // rate in effect right now (the threshold moves, so this cannot be
@@ -113,31 +139,100 @@ void StackDistanceKernel::AccessSampled(PageId page_id) {
                   std::llround(static_cast<double>(d - 1) * inv_rate_));
     }
     histogram_.AddDistance(d);
-    live_.Clear(static_cast<size_t>(prev));
+    live_.MovePair(static_cast<size_t>(prev), static_cast<size_t>(now_));
     *last = now_;
-    live_.Set(static_cast<size_t>(now_));
     ++now_;
   }
 }
 
-void StackDistanceKernel::AccessAll(const PageId* trace, size_t count) {
-  if (!sampling_.enabled()) {
+void StackDistanceKernel::set_pipeline_batch(size_t batch) {
+  pipeline_batch_ = std::clamp<size_t>(batch, 1, 64);
+}
+
+// The software pipeline. Three stages per batch of B references, all
+// prefetch-only except the last:
+//
+//   1. *Probe prefetch*, two batches ahead: the first slot line of each
+//      upcoming key's probe sequence, issued ~2B resolved references
+//      before the key is needed — enough lead for a DRAM line.
+//   2. *Line peek*, one batch ahead: a stats-free table peek (the slot
+//      line is hot from stage 1) reads each key's tentative previous
+//      timestamp and prefetches the live-bitmap word and first Fenwick
+//      node its distance query will touch. The peek may be stale when a
+//      page repeats within the batch window — that only mis-aims a
+//      prefetch, never the resolution.
+//   3. *Resolve*, strictly in trace order: the exact scalar path.
+//
+// Because stages 1–2 issue hints and nothing else, the histogram is
+// bit-identical to the scalar loop for every batch width.
+void StackDistanceKernel::AccessRunPipelined(const PageId* refs,
+                                             size_t count) {
+  const size_t batch = pipeline_batch_;
+  if (batch <= 1 || count < batch * 3) {
     for (size_t i = 0; i < count; ++i) {
       if (i + kPrefetchAhead < count) {
-        last_access_.Prefetch(trace[i + kPrefetchAhead]);
+        last_access_.Prefetch(refs[i + kPrefetchAhead]);
       }
-      AccessSampled(trace[i]);
+      AccessSampled(refs[i]);
     }
     return;
   }
-  // Sampled streaming: the skip path is one hash + compare per reference
-  // (plus one bitmap test-and-set in fixed-rate mode, which buys exact
-  // cold misses); table prefetch only happens from already-sampled
-  // references, and only for upcoming references that will themselves be
-  // sampled.
+  // Warm the first two batches' probe lines.
+  for (size_t j = 0; j < batch * 2; ++j) last_access_.Prefetch(refs[j]);
+  size_t i = 0;
+  for (; i + batch <= count; i += batch) {
+    size_t stage1_end = std::min(i + batch * 3, count);
+    for (size_t j = i + batch * 2; j < stage1_end; ++j) {
+      last_access_.Prefetch(refs[j]);
+    }
+    size_t stage2_end = std::min(i + batch * 2, count);
+    for (size_t j = i + batch; j < stage2_end; ++j) {
+      if (const uint64_t* prev = last_access_.Peek(refs[j])) {
+        // Long spans take the Fenwick/bitmap walk at *prev; short spans
+        // scan words near now_, which are hot by construction.
+        if ((now_ >> 6) - (*prev >> 6) > kScanWords) {
+          live_.PrefetchCount(static_cast<size_t>(*prev));
+        }
+      }
+    }
+    for (size_t j = i; j < i + batch; ++j) AccessSampled(refs[j]);
+  }
+  for (; i < count; ++i) AccessSampled(refs[i]);
+}
+
+void StackDistanceKernel::AccessAll(const PageId* trace, size_t count) {
+  if (!sampling_.enabled()) {
+    AccessRunPipelined(trace, count);
+    return;
+  }
   total_refs_ += count;
+  if (sampling_.max_pages == 0) {
+    // Fixed-rate: the threshold is static, so the filter can run for a
+    // whole chunk up front — first-touch bitmap marks for every
+    // reference, survivors gathered densely — and the survivors then go
+    // through the same pipelined run as an unfiltered trace. The
+    // decisions are identical to the interleaved scalar loop because
+    // nothing the kernel does can change them.
+    PageId kept[512];
+    size_t n = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (exact_cold_) exact_seen_.TestAndSet(trace[i]);
+      if (SampleHash(trace[i]) < threshold_) {
+        kept[n++] = trace[i];
+        if (n == sizeof(kept) / sizeof(kept[0])) {
+          AccessRunPipelined(kept, n);
+          n = 0;
+        }
+      }
+    }
+    if (n > 0) AccessRunPipelined(kept, n);
+    return;
+  }
+  // Adaptive mode: the threshold can drop inside any AccessSampled (an
+  // eviction wave), so each reference must be filtered at its own
+  // resolution time — batching the filter would use stale thresholds.
+  // The skip path stays one hash + compare per reference.
   for (size_t i = 0; i < count; ++i) {
-    if (exact_cold_) exact_seen_.TestAndSet(trace[i]);
     if (SampleHash(trace[i]) >= threshold_) continue;
     if (i + kPrefetchAhead < count) {
       PageId ahead = trace[i + kPrefetchAhead];

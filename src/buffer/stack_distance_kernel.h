@@ -10,6 +10,7 @@
 #include "buffer/sampling.h"
 #include "buffer/stack_distance.h"
 #include "storage/page.h"
+#include "util/arena.h"
 #include "util/flat_hash.h"
 
 namespace epfis {
@@ -85,9 +86,21 @@ class StackDistanceKernel {
     AccessAll(trace.data(), trace.size());
   }
 
-  /// Processes `count` references from a buffer, prefetching upcoming
-  /// hash slots (chunked streaming; the main entry point).
+  /// Processes `count` references from a buffer (chunked streaming; the
+  /// main entry point). Software-pipelined: references are consumed in
+  /// batches of `pipeline_batch()`, with the flat-table probe lines of
+  /// upcoming batches and the live-bitmap/Fenwick lines of the next
+  /// batch's reuse positions prefetched before any reference of the
+  /// current batch is resolved. The resolution itself stays strictly in
+  /// trace order, so the histogram is bit-identical for every batch size
+  /// (the property tests sweep {1, 2, 4, 8}).
   void AccessAll(const PageId* trace, size_t count);
+
+  /// Pipeline batch width for AccessAll. 1 disables the pipelined layout
+  /// entirely (pure scalar loop with rolling prefetch); clamped to
+  /// [1, 64]. Output never depends on it.
+  void set_pipeline_batch(size_t batch);
+  size_t pipeline_batch() const { return pipeline_batch_; }
 
   /// Number of page fetches a `buffer_size`-slot LRU buffer would have
   /// performed on the trace so far. `buffer_size == 0` returns the total
@@ -195,6 +208,37 @@ class StackDistanceKernel {
       Add(i >> 6, static_cast<uint32_t>(-1));
     }
 
+    /// Clear(from) followed by Set(to) for from < to, with the two
+    /// Fenwick walks fused: both update paths climb toward the same
+    /// power-of-two ancestor, and from the meeting node upward the -1
+    /// and +1 cancel exactly, so the fused walk stops there instead of
+    /// climbing the whole tree twice. A hot page re-referenced after a
+    /// short interval has `from` and `to` in the same or nearby words,
+    /// collapsing the dependent 2·O(log W) update chain of the scalar
+    /// form to a handful of node touches (often zero). Tree contents
+    /// end up bit-identical to the two separate walks.
+    void MovePair(size_t from, size_t to) {
+      bits_[from >> 6] &= ~(uint64_t{1} << (from & 63));
+      bits_[to >> 6] |= uint64_t{1} << (to & 63);
+      size_t n = tree_.size();
+      size_t p1 = (from >> 6) + 1;
+      size_t p2 = (to >> 6) + 1;
+      while (p1 != p2) {
+        // The smaller index being past the end implies the larger is
+        // too — both tails are out of range, nothing left to apply.
+        if (p1 < p2) {
+          if (p1 >= n) return;
+          tree_[p1] += static_cast<uint32_t>(-1);
+          p1 += p1 & (~p1 + 1);
+        } else {
+          if (p2 >= n) return;
+          tree_[p2] += 1;
+          p2 += p2 & (~p2 + 1);
+        }
+      }
+      // p1 == p2: the rest of the path is shared and cancels.
+    }
+
     /// Number of live bits at positions strictly below `i` (no underflow
     /// edge: i == 0 sums an empty prefix and returns 0).
     uint64_t CountBelow(size_t i) const {
@@ -206,6 +250,43 @@ class StackDistanceKernel {
         sum += tree_[p];
       }
       return sum;
+    }
+
+    /// Number of live bits in [lo, hi), counted by scanning the bitmap
+    /// words directly — O((hi - lo)/64) popcounts over lines that are
+    /// hot (the range ends at the current timestamp, where every recent
+    /// reference just wrote). The kernel takes this path when the reuse
+    /// window is short instead of the Fenwick prefix walk; both compute
+    /// the same value. Precondition: lo < hi.
+    uint64_t CountRange(size_t lo, size_t hi) const {
+      size_t lo_word = lo >> 6;
+      size_t hi_word = hi >> 6;
+      uint64_t lo_mask = ~((uint64_t{1} << (lo & 63)) - 1);
+      uint64_t hi_mask = (uint64_t{1} << (hi & 63)) - 1;
+      if (lo_word == hi_word) {
+        return static_cast<uint64_t>(
+            std::popcount(bits_[lo_word] & lo_mask & hi_mask));
+      }
+      uint64_t sum =
+          static_cast<uint64_t>(std::popcount(bits_[lo_word] & lo_mask));
+      for (size_t w = lo_word + 1; w < hi_word; ++w) {
+        sum += static_cast<uint64_t>(std::popcount(bits_[w]));
+      }
+      sum += static_cast<uint64_t>(std::popcount(bits_[hi_word] & hi_mask));
+      return sum;
+    }
+
+    /// Hints the CPU to load the bitmap word and first Fenwick node a
+    /// CountBelow/CountRange at position `i` would touch (pipeline peek
+    /// stage; purely advisory).
+    void PrefetchCount(size_t i) const {
+#if defined(__GNUC__) || defined(__clang__)
+      size_t word = i >> 6;
+      __builtin_prefetch(&bits_[word]);
+      __builtin_prefetch(&tree_[word]);
+#else
+      (void)i;
+#endif
     }
 
     /// Reinitializes to `n` positions with [0, ones) live, in O(n / 64).
@@ -230,8 +311,11 @@ class StackDistanceKernel {
       }
     }
 
-    std::vector<uint64_t> bits_;  // Live bit per timestamp.
-    std::vector<uint32_t> tree_;  // Fenwick over per-word popcounts.
+    // Hugepage-backed (util/arena.h): once the compacted window spans
+    // hundreds of KB these are probed at reuse-distance-sized strides,
+    // and 2MB TLB entries keep those probes walk-free.
+    std::vector<uint64_t, HugeAllocator<uint64_t>> bits_;  // Live bits.
+    std::vector<uint32_t, HugeAllocator<uint32_t>> tree_;  // Word popcounts.
   };
 
   void Compact();
@@ -241,12 +325,18 @@ class StackDistanceKernel {
   // reference and applied the hash filter when sampling is enabled.
   void AccessSampled(PageId page_id);
 
+  // Pipelined run over references that already passed the filter (or an
+  // unfiltered trace): probe/line prefetch for whole batches ahead of
+  // strictly-in-order resolution.
+  void AccessRunPipelined(const PageId* refs, size_t count);
+
   // Drops the threshold to the largest sample hash present and evicts
   // the pages holding it, until the set fits `max_pages` again.
   void EvictOverflow();
 
   uint64_t now_ = 0;   // Next timestamp on the (compacted) time axis.
   size_t window_ = 0;  // Fenwick capacity; now_ < window_ between accesses.
+  size_t pipeline_batch_ = 4;  // AccessAll batch width (output-neutral).
   LiveTree live_;
   FlatHashMap<PageId, uint64_t, kInvalidPageId> last_access_;
   StackDistanceHistogram histogram_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 #include <utility>
 
+#include "epfis/uring_trace_source.h"
 #include "obs/metrics.h"
 #include "util/fault.h"
 
@@ -16,6 +18,23 @@
 #endif
 
 namespace epfis {
+namespace {
+
+// Size probe for the autodetect's uring threshold; nullopt (stat failed,
+// platform without stat) just skips the uring attempt — the next access
+// path will produce the real error.
+std::optional<uint64_t> FileByteSize(const std::string& path) {
+#ifdef EPFIS_HAS_MMAP
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return std::nullopt;
+  return static_cast<uint64_t>(st.st_size);
+#else
+  (void)path;
+  return std::nullopt;
+#endif
+}
+
+}  // namespace
 
 Result<size_t> VectorTraceSource::Next(PageId* buffer, size_t capacity) {
   size_t n = std::min(capacity, data_->size() - pos_);
@@ -105,6 +124,17 @@ Result<MmapTraceSource> MmapTraceSource::Open(const std::string& path) {
   // page-aligned mapping.
   const PageId* entries =
       reinterpret_cast<const PageId*>(bytes + kPageTraceHeaderSize);
+  // Consumption is one front-to-back pass (Next) or a sharded sweep that
+  // is sequential per worker: tell readahead so, and pull the first
+  // window in eagerly so the simulator's opening chunks never fault.
+  // Purely advisory — failure changes nothing but timing.
+#ifdef MADV_SEQUENTIAL
+  (void)::madvise(map, file_size, MADV_SEQUENTIAL);
+#endif
+#ifdef MADV_WILLNEED
+  constexpr size_t kWillNeedWindow = size_t{4} << 20;
+  (void)::madvise(map, std::min(file_size, kWillNeedWindow), MADV_WILLNEED);
+#endif
   MetricsRegistry& registry = MetricsRegistry::Global();
   static Counter mmap_opens = registry.GetCounter("trace.mmap_opens");
   static Counter mmap_bytes = registry.GetCounter("trace.mmap_bytes_mapped");
@@ -159,9 +189,38 @@ Result<size_t> MmapTraceSource::Next(PageId* buffer, size_t capacity) {
   return n;
 }
 
-Result<std::unique_ptr<TraceSource>> OpenTraceSource(const std::string& path) {
+Result<std::unique_ptr<TraceSource>> OpenTraceSource(
+    const std::string& path, const TraceOpenOptions& options) {
   static Counter fallbacks =
       MetricsRegistry::Global().GetCounter("trace.mmap_fallbacks");
+  static Counter uring_fallbacks =
+      MetricsRegistry::Global().GetCounter("trace.uring_fallbacks");
+  // io_uring first, and only when the file is large enough (or forced):
+  // the ring's win is streaming a colder-than-cache trace without
+  // flushing the page cache under the simulator. Stat through the uring
+  // Open itself — it validates geometry before touching the ring, so a
+  // corrupt file fails here with the final verdict and never falls back.
+  if (options.force_uring ||
+      (UringTraceSource::Supported() && options.uring_min_bytes > 0)) {
+    bool try_uring = options.force_uring;
+    if (!try_uring) {
+      if (auto size = FileByteSize(path);
+          size.has_value() && *size >= options.uring_min_bytes) {
+        try_uring = true;
+      }
+    }
+    if (try_uring) {
+      Result<UringTraceSource> source = UringTraceSource::Open(path);
+      if (source.ok()) {
+        return std::unique_ptr<TraceSource>(
+            new UringTraceSource(std::move(*source)));
+      }
+      if (source.status().code() == StatusCode::kCorruption) {
+        return source.status();
+      }
+      uring_fallbacks.Increment();
+    }
+  }
   if (MmapTraceSource::Supported()) {
     Result<MmapTraceSource> source = MmapTraceSource::Open(path);
     if (source.ok()) {

@@ -151,12 +151,32 @@ class MmapTraceSource final : public TraceSource {
   uint64_t pos_ = 0;
 };
 
+/// Knobs for OpenTraceSource's access-path autodetection.
+struct TraceOpenOptions {
+  /// Files at least this large try O_DIRECT/io_uring ingestion first
+  /// (UringTraceSource). The default keeps everything on mmap: page-cache
+  /// reads win whenever the trace fits in (or is already in) memory, and
+  /// O_DIRECT's advantage — streaming a cold trace without evicting the
+  /// simulator's working set — only materializes on traces big enough to
+  /// fight the cache for residency. Lower it (or set force_uring) to
+  /// route smaller files through the ring.
+  uint64_t uring_min_bytes = uint64_t{4} << 30;
+
+  /// Try UringTraceSource regardless of size (benchmarks, fallback
+  /// drills). Unavailability still falls back; corruption still fails.
+  bool force_uring = false;
+};
+
 /// Opens the fastest available TraceSource for a SavePageTrace file:
-/// MmapTraceSource where mmap exists, FileTraceSource otherwise. Format
-/// errors propagate (no silent fallback on a corrupt file — both readers
-/// reject it with the same taxonomy); I/O-level mmap failures fall back
-/// to the streaming reader and bump the trace.mmap_fallbacks counter.
-Result<std::unique_ptr<TraceSource>> OpenTraceSource(const std::string& path);
+/// UringTraceSource for very large files (see TraceOpenOptions), then
+/// MmapTraceSource where mmap exists, then FileTraceSource. Format errors
+/// propagate from whichever reader sees the file first (no silent
+/// fallback on a corrupt file — all three reject it with the same
+/// taxonomy); access-path failures — io_uring missing (ENOSYS, seccomp,
+/// EPFIS_URING=OFF), a filesystem that cannot back the mapping — degrade
+/// to the next path and bump trace.uring_fallbacks / trace.mmap_fallbacks.
+Result<std::unique_ptr<TraceSource>> OpenTraceSource(
+    const std::string& path, const TraceOpenOptions& options = {});
 
 }  // namespace epfis
 

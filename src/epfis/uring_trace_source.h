@@ -1,0 +1,77 @@
+#ifndef EPFIS_EPFIS_URING_TRACE_SOURCE_H_
+#define EPFIS_EPFIS_URING_TRACE_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "epfis/trace_source.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace epfis {
+
+/// TraceSource that streams a SavePageTrace file through io_uring with
+/// O_DIRECT: fixed-size aligned blocks are kept in flight ahead of the
+/// consumer (queue depth 4, 256KB blocks), so a cold multi-gigabyte trace
+/// arrives at device speed without staging the whole file through the
+/// page cache first — the ingestion path for traces that are read once
+/// and must not evict the structures the kernel is probing.
+///
+/// Everything is raw syscalls (io_uring_setup / io_uring_enter plus the
+/// three ring mmaps); no liburing. O_DIRECT is attempted first and
+/// dropped silently when the filesystem refuses it (o_direct() reports
+/// which mode the source runs in); short reads are resubmitted as
+/// continuation reads, so block boundaries never leak into results.
+///
+/// Open validates the same format PageTraceReader does, with the same
+/// Status taxonomy and messages — Corruption for bad magic, truncated
+/// header, truncated body, trailing bytes; IoError when the file cannot
+/// be opened — and all geometry errors surface eagerly at Open (the file
+/// length betrays them), like MmapTraceSource. When io_uring itself is
+/// unavailable (ENOSYS kernel, seccomp EPERM, EPFIS_URING=OFF build) Open
+/// fails with FailedPrecondition/Unimplemented and OpenTraceSource falls
+/// back to mmap, then streaming; a Corruption verdict propagates
+/// unchanged through every layer (the file is bad, not the access path).
+class UringTraceSource final : public TraceSource {
+ public:
+  static Result<UringTraceSource> Open(const std::string& path);
+
+  /// Whether this build compiled the implementation in AND the running
+  /// kernel accepts io_uring_setup (probed once, cached). False means
+  /// Open can only fail; OpenTraceSource skips straight to mmap.
+  static bool Supported();
+
+  UringTraceSource(UringTraceSource&&) noexcept;
+  UringTraceSource& operator=(UringTraceSource&&) noexcept;
+  ~UringTraceSource() override;
+
+  Result<size_t> Next(PageId* buffer, size_t capacity) override;
+  Status Reset() override;
+  std::optional<uint64_t> size_hint() const override { return count(); }
+
+  uint64_t count() const;
+
+  /// True when the file is being read O_DIRECT; false when the
+  /// filesystem rejected the flag and reads go through the page cache
+  /// (still via the ring).
+  bool o_direct() const;
+
+  struct Stats {
+    uint64_t blocks_read = 0;       ///< Completed block reads.
+    uint64_t resubmits = 0;         ///< Continuation reads after short CQEs.
+    uint64_t enter_waits = 0;       ///< io_uring_enter calls that blocked.
+  };
+  Stats stats() const;
+
+ private:
+  struct Ring;  // All uapi types and ring state live in the .cc.
+  explicit UringTraceSource(std::unique_ptr<Ring> ring);
+
+  std::unique_ptr<Ring> ring_;
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_EPFIS_URING_TRACE_SOURCE_H_

@@ -1,0 +1,136 @@
+#include "util/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define EPFIS_ARENA_HAS_MMAP 1
+#include <sys/mman.h>
+#endif
+
+namespace epfis {
+namespace {
+
+std::atomic<bool> g_hugepages_enabled{true};
+std::atomic<uint64_t> g_huge_allocs{0};
+std::atomic<uint64_t> g_huge_bytes{0};
+std::atomic<uint64_t> g_advice_failures{0};
+std::atomic<uint64_t> g_fallback_allocs{0};
+
+constexpr size_t kCacheLine = 64;
+
+void* FallbackAlloc(size_t bytes) {
+  return ::operator new(bytes, std::align_val_t{kCacheLine});
+}
+
+void FallbackFree(void* p) noexcept {
+  ::operator delete(p, std::align_val_t{kCacheLine});
+}
+
+#ifdef EPFIS_ARENA_HAS_MMAP
+
+constexpr size_t kHuge = HugePageArena::kHugePageSize;
+
+size_t RoundUpToHuge(size_t bytes) {
+  return (bytes + kHuge - 1) & ~(kHuge - 1);
+}
+
+// mmap gives page alignment, not 2MB alignment. Over-reserve by one huge
+// page, then trim the head and tail so the surviving range starts and
+// ends on 2MB boundaries — the shape khugepaged (and MADV_HUGEPAGE
+// faults) can back with hugepages end to end.
+void* MapAligned(size_t len) {
+  size_t over = len + kHuge;
+  void* raw = ::mmap(nullptr, over, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (raw == MAP_FAILED) return nullptr;
+  auto base = reinterpret_cast<uintptr_t>(raw);
+  uintptr_t aligned = (base + kHuge - 1) & ~(uintptr_t{kHuge} - 1);
+  size_t head = static_cast<size_t>(aligned - base);
+  size_t tail = over - head - len;
+  if (head > 0) ::munmap(raw, head);
+  if (tail > 0) ::munmap(reinterpret_cast<void*>(aligned + len), tail);
+  return reinterpret_cast<void*>(aligned);
+}
+
+#endif  // EPFIS_ARENA_HAS_MMAP
+
+}  // namespace
+
+bool HugePageArena::Supported() noexcept {
+#ifdef EPFIS_ARENA_HAS_MMAP
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool HugePageArena::hugepages_enabled() noexcept {
+  return g_hugepages_enabled.load(std::memory_order_relaxed);
+}
+
+bool HugePageArena::set_hugepages_enabled(bool enabled) noexcept {
+  return g_hugepages_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+HugePageArena::Stats HugePageArena::stats() noexcept {
+  Stats s;
+  s.huge_allocs = g_huge_allocs.load(std::memory_order_relaxed);
+  s.huge_bytes = g_huge_bytes.load(std::memory_order_relaxed);
+  s.advice_failures = g_advice_failures.load(std::memory_order_relaxed);
+  s.fallback_allocs = g_fallback_allocs.load(std::memory_order_relaxed);
+  return s;
+}
+
+void* HugePageArena::Alloc(size_t bytes) {
+  if (bytes == 0) bytes = 1;
+#ifdef EPFIS_ARENA_HAS_MMAP
+  if (bytes >= kHugeThreshold) {
+    size_t len = RoundUpToHuge(bytes);
+    if (void* p = MapAligned(len)) {
+      if (hugepages_enabled()) {
+#ifdef MADV_HUGEPAGE
+        if (::madvise(p, len, MADV_HUGEPAGE) != 0) {
+          g_advice_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+#endif
+      }
+      g_huge_allocs.fetch_add(1, std::memory_order_relaxed);
+      g_huge_bytes.fetch_add(len, std::memory_order_relaxed);
+      return p;
+    }
+    // Free() re-derives the path from `bytes`, so a large request must
+    // stay munmap-compatible even when the aligned reservation fails
+    // (address-space or mapping-count exhaustion): retry as a plain
+    // mapping of the same rounded length — unaligned, so likely not
+    // hugepage-backed, but correct.
+    void* p = ::mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+      g_huge_allocs.fetch_add(1, std::memory_order_relaxed);
+      g_huge_bytes.fetch_add(len, std::memory_order_relaxed);
+      return p;
+    }
+    throw std::bad_alloc();
+  }
+#endif
+  if (bytes >= kHugeThreshold) {
+    // Non-mmap platform: large requests degrade to aligned operator new.
+    g_fallback_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  return FallbackAlloc(bytes);
+}
+
+void HugePageArena::Free(void* p, size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (bytes == 0) bytes = 1;
+#ifdef EPFIS_ARENA_HAS_MMAP
+  if (bytes >= kHugeThreshold) {
+    ::munmap(p, RoundUpToHuge(bytes));
+    return;
+  }
+#endif
+  FallbackFree(p);
+}
+
+}  // namespace epfis

@@ -1,0 +1,104 @@
+#ifndef EPFIS_UTIL_ARENA_H_
+#define EPFIS_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+
+namespace epfis {
+
+/// Transparent-hugepage-friendly block allocation for the Mattson hot
+/// structures (the flat last-access table and the live-bitmap/Fenwick
+/// arenas).
+///
+/// The kernel's dominant cache cost at 10M+ references is the random
+/// probe into a multi-megabyte slot array: with 4KB pages that array
+/// spans thousands of TLB entries and every probe risks a page walk on
+/// top of the data miss. Backing the array with 2MB-aligned memory and
+/// advising MADV_HUGEPAGE collapses it onto a handful of hugepage TLB
+/// entries (a 16MB table is 8 entries instead of 4096).
+///
+/// Contract:
+///  * `Alloc(bytes)` returns 2MB-aligned memory for any request at or
+///    above `kHugeThreshold`, obtained from an anonymous mmap rounded up
+///    to whole 2MB units; when hugepages are enabled (the default) the
+///    range is advised MADV_HUGEPAGE. Below the threshold — and on
+///    platforms without mmap, or when mmap itself fails — it falls back
+///    to `operator new` with cache-line alignment. The routing decision
+///    is a pure function of `bytes`, so `Free(p, bytes)` always knows
+///    which path produced `p`; the runtime toggle only controls the
+///    madvise hint, never the mapping, so flipping it between an Alloc
+///    and its Free is harmless.
+///  * `set_hugepages_enabled(false)` (or a failing madvise — old kernel,
+///    THP disabled system-wide) degrades gracefully to plain mmap
+///    memory: same alignment, same semantics, no hugepage advice. The
+///    property tests assert kernel output is bit-identical either way.
+class HugePageArena {
+ public:
+  /// Transparent hugepage unit on x86-64/aarch64 Linux.
+  static constexpr size_t kHugePageSize = size_t{2} << 20;
+
+  /// Requests at or above this go to the 2MB-aligned mmap path. Chosen so
+  /// the kernel's table reaches hugepage backing well before it leaves
+  /// L2, while small helper vectors stay on the cheap path.
+  static constexpr size_t kHugeThreshold = size_t{256} << 10;
+
+  /// Allocates `bytes` (never returns nullptr; throws std::bad_alloc on
+  /// exhaustion like operator new).
+  static void* Alloc(size_t bytes);
+
+  /// Releases memory from Alloc. `bytes` must be the original request.
+  static void Free(void* p, size_t bytes) noexcept;
+
+  /// Whether Alloc currently advises MADV_HUGEPAGE on large blocks.
+  static bool hugepages_enabled() noexcept;
+
+  /// Toggles the MADV_HUGEPAGE advice (benchmarks and property tests
+  /// compare both configurations). Returns the previous setting.
+  static bool set_hugepages_enabled(bool enabled) noexcept;
+
+  /// Whether this platform can take the mmap path at all.
+  static bool Supported() noexcept;
+
+  struct Stats {
+    uint64_t huge_allocs = 0;     ///< Blocks served by the mmap path.
+    uint64_t huge_bytes = 0;      ///< Bytes reserved by the mmap path.
+    uint64_t advice_failures = 0; ///< madvise(MADV_HUGEPAGE) rejections.
+    uint64_t fallback_allocs = 0; ///< Large requests that fell back to new.
+  };
+  static Stats stats() noexcept;
+};
+
+/// Minimal std-compatible allocator routing through HugePageArena, so the
+/// hot-loop containers (FlatHashMap's slot array, the live bitmap and the
+/// Fenwick node vector) get hugepage-backed storage with no changes to
+/// their vector-based code. Stateless: all instances are interchangeable.
+template <typename T>
+class HugeAllocator {
+ public:
+  using value_type = T;
+  using size_type = size_t;
+  using difference_type = std::ptrdiff_t;
+  using propagate_on_container_move_assignment = std::true_type;
+  using is_always_equal = std::true_type;
+
+  constexpr HugeAllocator() noexcept = default;
+  template <typename U>
+  constexpr HugeAllocator(const HugeAllocator<U>&) noexcept {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(HugePageArena::Alloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    HugePageArena::Free(p, n * sizeof(T));
+  }
+
+  friend bool operator==(const HugeAllocator&, const HugeAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace epfis
+
+#endif  // EPFIS_UTIL_ARENA_H_

@@ -161,8 +161,8 @@ inline constexpr const char* kAllFaultPoints[] = {
     "catalog.save.rename",  "catalog.load.open",  "catalog.load.read",
     "catalog.publish.swap", "trace.save.open",    "trace.save.write",
     "trace.open",           "trace.read.header",  "trace.read.body",
-    "trace.mmap.map",       "lru_fit.batch.job",  "sd.shard.task",
-    "est_io.lookup",
+    "trace.mmap.map",       "trace.uring.setup",  "lru_fit.batch.job",
+    "sd.shard.task",        "est_io.lookup",
 };
 
 #if EPFIS_FAULTS_ENABLED

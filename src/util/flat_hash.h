@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/arena.h"
+
 // Mirrors the build-wide gate from obs/metrics.h without depending on it:
 // this header sits below the obs layer.
 #ifndef EPFIS_METRICS_ENABLED
@@ -28,7 +30,17 @@ namespace epfis {
 /// the first probe slot of an upcoming key into cache ahead of time.
 ///
 /// Grows at a 0.7 load factor by doubling and reinserting; pointers
-/// returned by Find/TryEmplace are invalidated by any later insert.
+/// returned by Find/TryEmplace are invalidated by any later insert. The
+/// slot array is hugepage-backed (util/arena.h): once it outgrows the
+/// arena threshold, random probes stop paying 4KB-page TLB walks.
+///
+/// When the caller knows how many keys are coming (the kernel passes the
+/// adaptive sampling cap, an exact bound), `SetGrowthHint` lets a
+/// load-triggered rehash quadruple instead of double while the hint says
+/// more growth is imminent — one rehash where two would have run. Hints
+/// should be bounds the caller trusts: an overshooting hint buys capacity
+/// nothing will fill, which any consumer that scans the slot array pays
+/// for on every pass.
 template <typename Key, typename Value, Key kEmptyKey>
 class FlatHashMap {
  public:
@@ -58,6 +70,12 @@ class FlatHashMap {
     }
   }
 
+  /// Expected eventual entry count. Purely advisory: growth still only
+  /// happens when the load factor demands it, but each load-triggered
+  /// rehash jumps as far toward the hint as a doubling schedule would
+  /// have reached in two steps. 0 (the default) restores plain doubling.
+  void SetGrowthHint(size_t n) { growth_hint_ = n; }
+
   /// Pointer to the value for `key`, or nullptr if absent.
   Value* Find(Key key) {
     size_t i = IndexFor(key);
@@ -78,12 +96,29 @@ class FlatHashMap {
     return const_cast<FlatHashMap*>(this)->Find(key);
   }
 
+  /// Stats-free lookup for speculative pipeline peeks: same probe
+  /// sequence as Find, but the instrumentation counters stay untouched,
+  /// so probes/lookups keep describing the resolving loop alone.
+  const Value* Peek(Key key) const {
+    size_t i = IndexFor(key);
+    for (;;) {
+      const Slot& slot = slots_[i];
+      if (slot.key == key) return &slot.value;
+      if (slot.key == kEmptyKey) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+
   /// Inserts (key, value) if `key` is absent. Returns the slot's value
   /// pointer and whether an insert happened (the existing value is left
   /// untouched on a hit, like std::unordered_map::try_emplace).
   std::pair<Value*, bool> TryEmplace(Key key, Value value) {
     if ((size_ + 1) * 10 > slots_.size() * 7) {
-      Rebuild(slots_.size() * 2);
+      size_t next = slots_.size() * 2;
+      // The hint says another doubling is coming right behind this one:
+      // take both at once and skip a full reinsertion pass.
+      if (CapacityFor(growth_hint_) >= next * 2) next *= 2;
+      Rebuild(next);
 #if EPFIS_METRICS_ENABLED
       ++stats_.grows;
 #endif
@@ -187,13 +222,28 @@ class FlatHashMap {
     return cap;
   }
 
+  // Rehash prefetch distance: the reinsertion loop walks the old array
+  // sequentially (hardware-prefetched) but lands each key at a random
+  // new-array slot — the same cache problem the lookup path has, handled
+  // the same way: compute the new home a few old slots ahead and prefetch
+  // it, so the landing line is resident by the time the insert scans it.
+  static constexpr size_t kRebuildPrefetchAhead = 8;
+
   void Rebuild(size_t new_capacity) {
-    std::vector<Slot> old = std::move(slots_);
+    std::vector<Slot, HugeAllocator<Slot>> old = std::move(slots_);
     slots_.assign(new_capacity, Slot{kEmptyKey, Value{}});
     mask_ = new_capacity - 1;
     shift_ = 64;
     for (size_t c = new_capacity; c > 1; c >>= 1) --shift_;
-    for (const Slot& slot : old) {
+    for (size_t j = 0; j < old.size(); ++j) {
+#if defined(__GNUC__) || defined(__clang__)
+      if (size_t a = j + kRebuildPrefetchAhead; a < old.size()) {
+        if (old[a].key != kEmptyKey) {
+          __builtin_prefetch(&slots_[IndexFor(old[a].key)], 1);
+        }
+      }
+#endif
+      const Slot& slot = old[j];
       if (slot.key == kEmptyKey) continue;
       size_t i = IndexFor(slot.key);
       while (slots_[i].key != kEmptyKey) i = (i + 1) & mask_;
@@ -201,10 +251,11 @@ class FlatHashMap {
     }
   }
 
-  std::vector<Slot> slots_;
+  std::vector<Slot, HugeAllocator<Slot>> slots_;
   size_t size_ = 0;
   size_t mask_ = 0;
   unsigned shift_ = 64;
+  size_t growth_hint_ = 0;
   Stats stats_;
 };
 

@@ -1,0 +1,181 @@
+#include "util/numa.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#define EPFIS_NUMA_LINUX 1
+#include <sched.h>
+#endif
+
+#if defined(EPFIS_HAVE_LIBNUMA)
+// Optional: preferred when the build found libnuma. The sysfs parser
+// below answers the same questions, so nothing is lost without it.
+#include <numa.h>
+#endif
+
+namespace epfis {
+namespace {
+
+// Parses a kernel cpulist ("0-3,8,10-11") into CPU ids. Unparseable
+// input yields an empty list, which the caller treats as "node absent".
+std::vector<int> ParseCpuList(const std::string& text) {
+  std::vector<int> cpus;
+  const char* p = text.c_str();
+  while (*p != '\0' && *p != '\n') {
+    char* end = nullptr;
+    long lo = std::strtol(p, &end, 10);
+    if (end == p) break;
+    long hi = lo;
+    p = end;
+    if (*p == '-') {
+      ++p;
+      hi = std::strtol(p, &end, 10);
+      if (end == p) break;
+      p = end;
+    }
+    for (long c = lo; c <= hi && c - lo < 4096; ++c) {
+      cpus.push_back(static_cast<int>(c));
+    }
+    if (*p == ',') ++p;
+  }
+  return cpus;
+}
+
+bool ReadSmallFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char buf[4096];
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  *out = buf;
+  return n > 0;
+}
+
+size_t FallbackCpuCount() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace
+
+NumaTopology NumaTopology::Detect() {
+  NumaTopology topo;
+#if defined(EPFIS_HAVE_LIBNUMA)
+  if (numa_available() >= 0) {
+    int max_node = numa_max_node();
+    for (int id = 0; id <= max_node; ++id) {
+      NumaNode node;
+      node.id = id;
+      struct bitmask* mask = numa_allocate_cpumask();
+      if (numa_node_to_cpus(id, mask) == 0) {
+        for (unsigned c = 0; c < mask->size; ++c) {
+          if (numa_bitmask_isbitset(mask, c)) {
+            node.cpus.push_back(static_cast<int>(c));
+          }
+        }
+      }
+      numa_free_cpumask(mask);
+      if (!node.cpus.empty()) {
+        topo.num_cpus_ += node.cpus.size();
+        topo.nodes_.push_back(std::move(node));
+      }
+    }
+    if (!topo.nodes_.empty()) return topo;
+  }
+#endif
+#if defined(EPFIS_NUMA_LINUX)
+  for (int id = 0; id < 1024; ++id) {
+    std::string text;
+    if (!ReadSmallFile("/sys/devices/system/node/node" + std::to_string(id) +
+                           "/cpulist",
+                       &text)) {
+      // Node ids are dense from 0; the first hole ends the scan.
+      break;
+    }
+    NumaNode node;
+    node.id = id;
+    node.cpus = ParseCpuList(text);
+    if (!node.cpus.empty()) {
+      topo.num_cpus_ += node.cpus.size();
+      topo.nodes_.push_back(std::move(node));
+    }
+  }
+#endif
+  if (topo.nodes_.empty()) {
+    // No sysfs tree (non-Linux, restricted container): one node, every
+    // CPU. Placement logic stays total over worker indices.
+    NumaNode node;
+    node.id = 0;
+    size_t n = FallbackCpuCount();
+    node.cpus.reserve(n);
+    for (size_t c = 0; c < n; ++c) node.cpus.push_back(static_cast<int>(c));
+    topo.num_cpus_ = n;
+    topo.nodes_.push_back(std::move(node));
+  }
+  return topo;
+}
+
+const NumaTopology& NumaTopology::Get() {
+  static const NumaTopology topo = Detect();
+  return topo;
+}
+
+bool NumaTopology::PinningSupported() {
+#if defined(EPFIS_NUMA_LINUX)
+  return true;
+#else
+  return false;
+#endif
+}
+
+int NumaTopology::NodeOfCpu(int cpu) const {
+  for (const NumaNode& node : nodes_) {
+    if (std::find(node.cpus.begin(), node.cpus.end(), cpu) !=
+        node.cpus.end()) {
+      return node.id;
+    }
+  }
+  return -1;
+}
+
+int NumaTopology::CpuForWorker(size_t worker_index) const {
+  const NumaNode& node = nodes_[worker_index % nodes_.size()];
+  size_t lap = worker_index / nodes_.size();
+  return node.cpus[lap % node.cpus.size()];
+}
+
+bool PinThreadToCpu(int cpu) {
+#if defined(EPFIS_NUMA_LINUX)
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+bool PinThreadToNode(const NumaNode& node) {
+#if defined(EPFIS_NUMA_LINUX)
+  if (node.cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int cpu : node.cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(static_cast<unsigned>(cpu), &set);
+  }
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)node;
+  return false;
+#endif
+}
+
+}  // namespace epfis

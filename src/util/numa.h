@@ -1,0 +1,69 @@
+#ifndef EPFIS_UTIL_NUMA_H_
+#define EPFIS_UTIL_NUMA_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace epfis {
+
+/// One NUMA node: its kernel id and the logical CPUs it owns.
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+/// Machine memory topology, for placing shard workers so that the
+/// structures they first-touch stay on their local node.
+///
+/// Detection is sysfs-based (`/sys/devices/system/node/node*/cpulist`)
+/// and needs no libraries; when libnuma is present at build time
+/// (EPFIS_HAVE_LIBNUMA) its answers are preferred, but the library is
+/// optional and the path compiles out cleanly without it. On kernels or
+/// platforms without the sysfs tree the topology degrades to a single
+/// node holding every CPU — every placement decision below stays valid,
+/// it just stops mattering.
+class NumaTopology {
+ public:
+  /// The machine's topology, detected once and cached for the process.
+  static const NumaTopology& Get();
+
+  /// Fresh detection (tests; Get() is the normal entry point).
+  static NumaTopology Detect();
+
+  /// Whether thread pinning is implemented for this platform (Linux).
+  /// Detection always succeeds — unsupported platforms just report the
+  /// single-node fallback.
+  static bool PinningSupported();
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_cpus() const { return num_cpus_; }
+  const std::vector<NumaNode>& nodes() const { return nodes_; }
+
+  /// Node owning `cpu`, or -1 if the CPU is not in the map.
+  int NodeOfCpu(int cpu) const;
+
+  /// CPU for the `worker_index`-th pool worker. Workers are spread
+  /// round-robin across nodes first, then across the CPUs within each
+  /// node — shard processing is bandwidth-bound, so neighboring workers
+  /// should draw from different memory controllers. Deterministic: the
+  /// same index always maps to the same CPU.
+  int CpuForWorker(size_t worker_index) const;
+
+ private:
+  std::vector<NumaNode> nodes_;
+  size_t num_cpus_ = 0;
+};
+
+/// Pins the calling thread to one CPU. Returns false (affinity left as it
+/// was) when unsupported on this platform or rejected by the kernel —
+/// callers treat pinning as an optimization, never a requirement.
+bool PinThreadToCpu(int cpu);
+
+/// Pins the calling thread to every CPU of `node` (looser than a single
+/// CPU: the scheduler can still balance within the node, but memory stays
+/// local). Same false-on-unsupported contract as PinThreadToCpu.
+bool PinThreadToNode(const NumaNode& node);
+
+}  // namespace epfis
+
+#endif  // EPFIS_UTIL_NUMA_H_

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 
+#include "util/numa.h"
+
 namespace epfis {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : ThreadPool(num_threads, Options()) {}
+
+ThreadPool::ThreadPool(size_t num_threads, Options options)
+    : options_(options) {
   num_threads = std::max<size_t>(num_threads, 1);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -21,7 +27,16 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  if (options_.pin_workers) {
+    // Each worker pins itself before its first task, so everything it
+    // allocates — including every shard structure it first-touches —
+    // faults onto its own node's memory from the start.
+    const NumaTopology& topo = NumaTopology::Get();
+    if (PinThreadToCpu(topo.CpuForWorker(worker_index))) {
+      pinned_workers_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   for (;;) {
     std::function<void()> task;
     {

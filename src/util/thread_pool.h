@@ -1,6 +1,7 @@
 #ifndef EPFIS_UTIL_THREAD_POOL_H_
 #define EPFIS_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <future>
@@ -33,8 +34,21 @@ namespace epfis {
 /// per-trace computation serial for exactly this reason.
 class ThreadPool {
  public:
+  struct Options {
+    /// Pin worker i to NumaTopology::Get().CpuForWorker(i) — round-robin
+    /// across NUMA nodes, then across the CPUs within each node. Shard
+    /// structures are allocated and first-touched inside the worker task
+    /// (ProcessShard builds its table and tree on the worker), so a pinned
+    /// worker keeps its shards' memory on its own node for the whole
+    /// parallel phase. Best-effort: a failed sched_setaffinity (platform
+    /// without it, restrictive cgroup cpuset) leaves the worker unpinned
+    /// and is counted in pinned_workers(), never an error.
+    bool pin_workers = false;
+  };
+
   /// Spawns `num_threads` workers (clamped to >= 1).
   explicit ThreadPool(size_t num_threads);
+  ThreadPool(size_t num_threads, Options options);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -58,16 +72,25 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Workers whose affinity pin succeeded. 0 unless Options::pin_workers;
+  /// may lag briefly after construction (each worker pins itself as it
+  /// starts) and is at most num_threads().
+  size_t pinned_workers() const {
+    return pinned_workers_.load(std::memory_order_relaxed);
+  }
+
   /// Hardware concurrency, never less than 1.
   static size_t DefaultThreadCount();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
+  const Options options_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::queue<std::function<void()>> queue_;  // Guarded by mu_.
   bool stopping_ = false;                    // Guarded by mu_.
+  std::atomic<size_t> pinned_workers_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,141 @@
+// The pipelined-AccessAll safety property: the software pipeline only
+// *prefetches* ahead — resolution stays strictly in trace order — so the
+// histogram must be bit-identical for every batch width, in every mode
+// the kernel runs in: exact, exact-with-tiny-compaction-windows,
+// fixed-rate sampled, and adaptive (fixed-size) sampled. The batched
+// fixed-rate filter and the scalar adaptive loop are separate code paths
+// in AccessAll, so the sweep here is what actually pins them together.
+
+#include "buffer/stack_distance_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "buffer/sampling.h"
+#include "buffer/stack_distance.h"
+#include "util/arena.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace epfis {
+namespace {
+
+constexpr size_t kBatches[] = {1, 2, 4, 8};
+
+std::vector<PageId> ZipfTrace(size_t refs, uint64_t pages, uint64_t seed) {
+  Rng rng(seed);
+  ZipfDistribution zipf = ZipfDistribution::Make(pages, 0.86).value();
+  std::vector<PageId> trace;
+  trace.reserve(refs);
+  for (size_t i = 0; i < refs; ++i) {
+    trace.push_back(static_cast<PageId>(zipf.Sample(rng) - 1));
+  }
+  return trace;
+}
+
+std::vector<PageId> UniformTrace(size_t refs, uint32_t pages,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PageId> trace;
+  trace.reserve(refs);
+  for (size_t i = 0; i < refs; ++i) {
+    trace.push_back(static_cast<PageId>(rng.NextBounded(pages)));
+  }
+  return trace;
+}
+
+// Runs the trace at every batch width and asserts each run's histogram
+// (and sampled-estimate view, when sampling is on) equals batch == 1's.
+void ExpectBatchInvariant(const std::vector<PageId>& trace,
+                          size_t window_hint, SamplingOptions sampling) {
+  StackDistanceKernel reference(trace.size(), window_hint, sampling);
+  reference.set_pipeline_batch(1);
+  reference.AccessAll(trace);
+  for (size_t batch : kBatches) {
+    StackDistanceKernel kernel(trace.size(), window_hint, sampling);
+    kernel.set_pipeline_batch(batch);
+    // Chunked feed: batch boundaries must also survive falling in the
+    // middle of a caller's buffer split.
+    for (size_t i = 0; i < trace.size(); i += 1'237) {
+      size_t n = std::min<size_t>(1'237, trace.size() - i);
+      kernel.AccessAll(trace.data() + i, n);
+    }
+    EXPECT_TRUE(kernel.histogram() == reference.histogram())
+        << "batch=" << batch << " window=" << window_hint;
+    EXPECT_EQ(kernel.accesses(), reference.accesses()) << "batch=" << batch;
+    EXPECT_EQ(kernel.cold_misses(), reference.cold_misses())
+        << "batch=" << batch;
+    if (sampling.enabled()) {
+      SampledStackDistances a = kernel.sampled_result();
+      SampledStackDistances b = reference.sampled_result();
+      EXPECT_TRUE(a.histogram == b.histogram) << "batch=" << batch;
+      EXPECT_EQ(a.sampling.sampled_refs, b.sampling.sampled_refs);
+      EXPECT_EQ(a.sampling.evicted_pages, b.sampling.evicted_pages);
+    }
+  }
+}
+
+TEST(KernelPipelineTest, BatchWidthIsOutputNeutralExact) {
+  ExpectBatchInvariant(ZipfTrace(30'000, 2'000, 101), 0, {});
+  ExpectBatchInvariant(UniformTrace(20'000, 700, 102), 0, {});
+}
+
+TEST(KernelPipelineTest, BatchWidthIsOutputNeutralAcrossCompactions) {
+  // Tiny windows compact every few references, so prefetched positions
+  // are constantly invalidated by time-axis remaps mid-batch.
+  auto trace = ZipfTrace(12'000, 600, 103);
+  for (size_t window : {3u, 17u, 256u}) {
+    ExpectBatchInvariant(trace, window, {});
+  }
+  StackDistanceKernel kernel(trace.size(), 17);
+  kernel.AccessAll(trace);
+  EXPECT_GT(kernel.compactions(), 0u);
+}
+
+TEST(KernelPipelineTest, BatchWidthIsOutputNeutralUnderFixedRateSampling) {
+  SamplingOptions sampling;
+  sampling.rate = 0.3;
+  ExpectBatchInvariant(ZipfTrace(30'000, 3'000, 104), 0, sampling);
+  sampling.rate = 0.05;
+  ExpectBatchInvariant(UniformTrace(30'000, 5'000, 105), 0, sampling);
+}
+
+TEST(KernelPipelineTest, BatchWidthIsOutputNeutralUnderAdaptiveSampling) {
+  SamplingOptions sampling;
+  sampling.max_pages = 128;
+  ExpectBatchInvariant(ZipfTrace(25'000, 4'000, 106), 0, sampling);
+  // With the eviction path actually exercised.
+  StackDistanceKernel kernel(25'000, 0, sampling);
+  kernel.AccessAll(ZipfTrace(25'000, 4'000, 106));
+  EXPECT_GT(kernel.sampling_summary().evicted_pages, 0u);
+  EXPECT_LE(kernel.sampled_pages(), 128u);
+}
+
+TEST(KernelPipelineTest, BatchSetterClampsToSupportedRange) {
+  StackDistanceKernel kernel;
+  kernel.set_pipeline_batch(0);
+  EXPECT_EQ(kernel.pipeline_batch(), 1u);
+  kernel.set_pipeline_batch(1'000);
+  EXPECT_EQ(kernel.pipeline_batch(), 64u);
+  kernel.set_pipeline_batch(8);
+  EXPECT_EQ(kernel.pipeline_batch(), 8u);
+}
+
+TEST(KernelPipelineTest, HugepageArenaToggleIsOutputNeutral) {
+  // The arena backs the table and the live tree; flipping the advice
+  // (which on kernels without THP is the only thing that ever differs)
+  // must not change a single histogram bin.
+  auto trace = ZipfTrace(20'000, 1'500, 107);
+  bool saved = HugePageArena::set_hugepages_enabled(true);
+  StackDistanceKernel with(trace.size());
+  with.AccessAll(trace);
+  HugePageArena::set_hugepages_enabled(false);
+  StackDistanceKernel without(trace.size());
+  without.AccessAll(trace);
+  HugePageArena::set_hugepages_enabled(saved);
+  EXPECT_TRUE(with.histogram() == without.histogram());
+}
+
+}  // namespace
+}  // namespace epfis

@@ -1,0 +1,93 @@
+// HugePageArena: alignment and routing contract, graceful degradation
+// with the advice toggled off, and the HugeAllocator adapter driving a
+// std::vector through grow/shrink cycles (the exact usage pattern of the
+// kernel's slot array and Fenwick vectors).
+
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace epfis {
+namespace {
+
+TEST(HugePageArenaTest, LargeBlocksAre2MBAligned) {
+  if (!HugePageArena::Supported()) {
+    GTEST_SKIP() << "no mmap path on this platform";
+  }
+  for (size_t bytes :
+       {HugePageArena::kHugeThreshold, HugePageArena::kHugeThreshold + 1,
+        HugePageArena::kHugePageSize, HugePageArena::kHugePageSize + 13,
+        size_t{7} << 20}) {
+    void* p = HugePageArena::Alloc(bytes);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) %
+                  HugePageArena::kHugePageSize,
+              0u)
+        << "bytes=" << bytes;
+    // The whole request must be usable, not just the rounded portion.
+    std::memset(p, 0xAB, bytes);
+    HugePageArena::Free(p, bytes);
+  }
+}
+
+TEST(HugePageArenaTest, SmallBlocksComeFromTheCheapPath) {
+  uint64_t huge_before = HugePageArena::stats().huge_allocs;
+  void* p = HugePageArena::Alloc(4096);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x5A, 4096);
+  HugePageArena::Free(p, 4096);
+  EXPECT_EQ(HugePageArena::stats().huge_allocs, huge_before);
+}
+
+TEST(HugePageArenaTest, StatsCountTheMmapPath) {
+  if (!HugePageArena::Supported()) {
+    GTEST_SKIP() << "no mmap path on this platform";
+  }
+  HugePageArena::Stats before = HugePageArena::stats();
+  void* p = HugePageArena::Alloc(HugePageArena::kHugePageSize);
+  HugePageArena::Free(p, HugePageArena::kHugePageSize);
+  HugePageArena::Stats after = HugePageArena::stats();
+  EXPECT_EQ(after.huge_allocs, before.huge_allocs + 1);
+  EXPECT_GE(after.huge_bytes - before.huge_bytes,
+            uint64_t{HugePageArena::kHugePageSize});
+}
+
+TEST(HugePageArenaTest, ToggleOnlyAffectsAdviceNeverSemantics) {
+  bool saved = HugePageArena::set_hugepages_enabled(false);
+  EXPECT_FALSE(HugePageArena::hugepages_enabled());
+  size_t bytes = HugePageArena::kHugeThreshold * 2;
+  void* p = HugePageArena::Alloc(bytes);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x11, bytes);
+  // Routing is a pure function of the size, so freeing after flipping
+  // the toggle back must still pick the mmap path.
+  HugePageArena::set_hugepages_enabled(true);
+  HugePageArena::Free(p, bytes);
+  HugePageArena::set_hugepages_enabled(saved);
+}
+
+TEST(HugeAllocatorTest, BacksAVectorThroughGrowthAndShrink) {
+  std::vector<uint64_t, HugeAllocator<uint64_t>> v;
+  for (uint64_t i = 0; i < 200'000; ++i) v.push_back(i * 3);
+  // 1.6MB of payload: the vector's doubling crossed kHugeThreshold, so
+  // later buffers came from the aligned path while early ones did not.
+  for (uint64_t i = 0; i < 200'000; i += 17'011) {
+    EXPECT_EQ(v[i], i * 3);
+  }
+  v.assign(8, 42);
+  v.shrink_to_fit();
+  EXPECT_EQ(v[7], 42u);
+}
+
+TEST(HugeAllocatorTest, RebindsAndComparesEqual) {
+  HugeAllocator<uint64_t> a;
+  HugeAllocator<uint32_t> b(a);
+  EXPECT_TRUE(a == HugeAllocator<uint64_t>(b));
+}
+
+}  // namespace
+}  // namespace epfis
