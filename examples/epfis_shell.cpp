@@ -7,10 +7,16 @@
 //   gwl COLUMN [scale]
 //       synthesize a GWL-like column (e.g. gwl CMAC.BRAN 0.25)
 //   stats NAME [--sample-rate=R] [--sample-max-pages=N]
+//              [--online [--window=W] [--drift-band=E]]
 //       run LRU-Fit + build a histogram; store both in the catalog.
 //       --sample-rate runs the SHARDS-sampled collection pass at rate R
 //       (0 < R <= 1); --sample-max-pages caps the sampled-page set,
 //       adapting the rate to the trace. Defaults are the exact pass.
+//       --online streams the trace through the OnlineLruFit engine
+//       instead: the catalog entry is bootstrap-published at the first
+//       refresh and re-published whenever the drift detector fires.
+//       --window sets the decay window in references (default: the whole
+//       trace), --drift-band the relative-error band (default 0.05).
 //   show NAME
 //       table shape and catalog statistics
 //   estimate NAME sigma buffer [sargable]
@@ -45,6 +51,8 @@
 //   run orders 1 40 250
 // EOF
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -165,13 +173,54 @@ class Shell {
     return Register(column, std::move(synthesis.dataset));
   }
 
+  // The --online variant of `stats`: streams the trace through the
+  // OnlineLruFit engine instead of the batch pass. The engine owns
+  // publication — the entry lands in the catalog through the same RCU
+  // Publish() path a background refresher would use (bootstrap at the
+  // first refresh, then drift-triggered), so `estimate` picks it up with
+  // no extra plumbing here.
+  Status OnlineStats(const std::string& name, const Dataset& dataset,
+                     const std::vector<PageId>& trace,
+                     const LruFitOptions& fit, uint64_t window,
+                     double drift_band) {
+    if (trace.empty()) {
+      return Status::InvalidArgument("stats: empty page trace");
+    }
+    OnlineLruFitOptions options;
+    options.table_pages = dataset.num_pages();
+    options.table_records = dataset.num_records();
+    options.distinct_keys = dataset.num_distinct();
+    options.window_refs = window > 0 ? window : trace.size();
+    uint64_t span = std::min<uint64_t>(options.window_refs, trace.size());
+    options.refresh_interval = std::max<uint64_t>(span / 5, 1);
+    options.sample_rate = fit.sample_rate;
+    options.sample_max_pages = fit.sample_max_pages;
+    options.drift.band = drift_band;
+    OnlineLruFit engine(name + ".key", options, &catalog_.stats());
+    EPFIS_RETURN_IF_ERROR(engine.Ingest(trace));
+    if (engine.publishes() == 0) EPFIS_RETURN_IF_ERROR(engine.Refresh());
+    std::cout << "Online LRU-Fit: " << engine.total_refs()
+              << " refs, window " << options.window_refs << ", "
+              << engine.refreshes() << " refreshes, " << engine.publishes()
+              << " publishes";
+    if (!std::isnan(engine.last_drift_error())) {
+      std::cout << ", last drift error " << engine.last_drift_error();
+    }
+    std::cout << '\n';
+    return Status::Ok();
+  }
+
   Status Stats(std::istringstream& args) {
     std::string name;
     if (!(args >> name)) {
       return Status::InvalidArgument(
-          "usage: stats NAME [--sample-rate=R] [--sample-max-pages=N]");
+          "usage: stats NAME [--sample-rate=R] [--sample-max-pages=N] "
+          "[--online [--window=W] [--drift-band=E]]");
     }
     LruFitOptions options;
+    bool online = false;
+    uint64_t window = 0;
+    double drift_band = 0.05;
     std::string flag;
     while (args >> flag) {
       if (flag.rfind("--sample-rate=", 0) == 0) {
@@ -179,34 +228,50 @@ class Shell {
       } else if (flag.rfind("--sample-max-pages=", 0) == 0) {
         options.sample_max_pages =
             std::strtoull(flag.c_str() + 19, nullptr, 10);
+      } else if (flag == "--online") {
+        online = true;
+      } else if (flag.rfind("--window=", 0) == 0) {
+        window = std::strtoull(flag.c_str() + 9, nullptr, 10);
+      } else if (flag.rfind("--drift-band=", 0) == 0) {
+        drift_band = std::strtod(flag.c_str() + 13, nullptr);
       } else {
         return Status::InvalidArgument(
             "stats: unknown flag '" + flag +
-            "' (expected --sample-rate= or --sample-max-pages=)");
+            "' (expected --sample-rate=, --sample-max-pages=, --online, "
+            "--window= or --drift-band=)");
       }
+    }
+    if (!online && (window != 0 || drift_band != 0.05)) {
+      return Status::InvalidArgument(
+          "stats: --window/--drift-band only apply with --online");
     }
     EPFIS_ASSIGN_OR_RETURN(Dataset * dataset, Find(name));
     EPFIS_ASSIGN_OR_RETURN(std::vector<PageId> trace,
                            dataset->FullIndexPageTrace());
-    EPFIS_ASSIGN_OR_RETURN(
-        IndexStats stats,
-        RunLruFit(trace, dataset->num_pages(), dataset->num_distinct(),
-                  name + ".key", options));
-    std::cout << "LRU-Fit: C=" << stats.clustering << ", B in ["
-              << stats.b_min << ", " << stats.b_max << "], "
-              << stats.fpf->num_segments() << " segments";
-    if (stats.sample_rate < 1.0) {
-      std::cout << ", sampled at R=" << stats.sample_rate << " ("
-                << stats.sampled_refs << " of " << stats.table_records
-                << " refs)";
+    if (online) {
+      EPFIS_RETURN_IF_ERROR(OnlineStats(name, *dataset, trace, options,
+                                        window, drift_band));
     } else {
-      std::cout << ", exact (" << stats.table_records << " refs)";
+      EPFIS_ASSIGN_OR_RETURN(
+          IndexStats stats,
+          RunLruFit(trace, dataset->num_pages(), dataset->num_distinct(),
+                    name + ".key", options));
+      std::cout << "LRU-Fit: C=" << stats.clustering << ", B in ["
+                << stats.b_min << ", " << stats.b_max << "], "
+                << stats.fpf->num_segments() << " segments";
+      if (stats.sample_rate < 1.0) {
+        std::cout << ", sampled at R=" << stats.sample_rate << " ("
+                  << stats.sampled_refs << " of " << stats.table_records
+                  << " refs)";
+      } else {
+        std::cout << ", exact (" << stats.table_records << " refs)";
+      }
+      std::cout << '\n';
+      catalog_.stats().Put(std::move(stats));
+      // Swap the new entry into the serving snapshot (RCU publish): the
+      // estimate command reads the snapshot, never the mutable catalog.
+      EPFIS_RETURN_IF_ERROR(catalog_.stats().Publish());
     }
-    std::cout << '\n';
-    catalog_.stats().Put(std::move(stats));
-    // Swap the new entry into the serving snapshot (RCU publish): the
-    // estimate command reads the snapshot, never the mutable catalog.
-    EPFIS_RETURN_IF_ERROR(catalog_.stats().Publish());
     EPFIS_ASSIGN_OR_RETURN(
         EquiDepthHistogram histogram,
         EquiDepthHistogram::Build(dataset->key_counts(), 20));

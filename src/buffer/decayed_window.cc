@@ -1,0 +1,65 @@
+#include "buffer/decayed_window.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace epfis {
+
+DecayedReuseWindow::DecayedReuseWindow(uint64_t window_refs)
+    : window_refs_(window_refs) {
+  assert(window_refs_ > 0 && "window_refs must be positive");
+  if (window_refs_ == 0) window_refs_ = 1;
+}
+
+void DecayedReuseWindow::Absorb(const StackDistanceHistogram& hist,
+                                const SamplingSummary& summary) {
+  const std::vector<uint64_t>& cur = hist.hist();
+  const uint64_t cur_cold = hist.cold_misses();
+  const uint64_t cur_sampled = hist.accesses();
+  const uint64_t cur_total = summary.total_refs;
+
+  // How far the stream advanced since the last emission, in *raw*
+  // references (sampled runs still age by wall-stream time, not by how
+  // many references happened to pass the filter).
+  const uint64_t delta_total =
+      cur_total > prev_total_ ? cur_total - prev_total_ : 0;
+
+  if (delta_total > 0 && absorbs_ > 0) {
+    const double lambda =
+        std::exp(-static_cast<double>(delta_total) /
+                 static_cast<double>(window_refs_));
+    for (double& w : decayed_hist_) w *= lambda;
+    cold_ *= lambda;
+    sampled_ *= lambda;
+    total_ *= lambda;
+  }
+
+  if (cur.size() > decayed_hist_.size()) decayed_hist_.resize(cur.size(), 0.0);
+  if (cur.size() > prev_hist_.size()) prev_hist_.resize(cur.size(), 0);
+  for (size_t d = 1; d < cur.size(); ++d) {
+    // Cumulative counts are monotone (see class comment); the delta is the
+    // emission since the previous Absorb.
+    decayed_hist_[d] += static_cast<double>(cur[d] - prev_hist_[d]);
+    prev_hist_[d] = cur[d];
+  }
+
+  cold_ += static_cast<double>(cur_cold - prev_cold_);
+  sampled_ += static_cast<double>(cur_sampled - prev_sampled_);
+  total_ += static_cast<double>(delta_total);
+
+  prev_cold_ = cur_cold;
+  prev_sampled_ = cur_sampled;
+  prev_total_ = cur_total;
+  ++absorbs_;
+}
+
+double DecayedReuseWindow::TailWeight(uint64_t buffer_size) const {
+  double tail = 0.0;
+  for (size_t d = decayed_hist_.size(); d-- > 0;) {
+    if (static_cast<uint64_t>(d) <= buffer_size) break;
+    tail += decayed_hist_[d];
+  }
+  return tail;
+}
+
+}  // namespace epfis

@@ -360,7 +360,10 @@ Result<SampledStackDistances> ComputeSampledStackDistances(
   // Adaptive mode's threshold is a global, time-ordered quantity (it
   // drops as the set fills), which independent shards cannot reproduce;
   // it always runs on the serial kernel. Fixed-rate and exact runs shard
-  // freely.
+  // freely. LruFitOptions::Validate rejects pool + max_pages up front so
+  // a requested parallel LRU-Fit never lands here silently serialized;
+  // this routing remains for direct callers and RunLruFitBatch jobs
+  // (whose per-job pool is legitimately null).
   if (pool == nullptr || pool->num_threads() <= 1 ||
       options.sampling.max_pages > 0) {
     return ComputeSerial(trace, options.sampling);

@@ -41,6 +41,9 @@ std::shared_ptr<const CatalogSnapshot> CatalogSnapshot::Build(
     entry.f_min = stats.f_min;
     entry.sample_rate = stats.sample_rate;
     entry.sampled_refs = stats.sampled_refs;
+    entry.online_generation = stats.online_generation;
+    entry.window_refs = stats.window_refs;
+    entry.drift_error = stats.drift_error;
     snapshot->entries_.push_back(entry);
   }
   for (const auto& [name, reason] : backing->quarantine) {
@@ -95,6 +98,9 @@ Result<IndexStats> CatalogSnapshot::Get(std::string_view index_name) const {
   stats.clustering = entry.view.clustering;
   stats.sample_rate = entry.sample_rate;
   stats.sampled_refs = entry.sampled_refs;
+  stats.online_generation = entry.online_generation;
+  stats.window_refs = entry.window_refs;
+  stats.drift_error = entry.drift_error;
   if (entry.view.knots != nullptr && entry.view.knot_count >= 2) {
     std::vector<Knot> knots(entry.view.knots,
                             entry.view.knots + entry.view.knot_count);

@@ -60,6 +60,11 @@ class CatalogSnapshot {
     uint64_t f_min = 0;
     double sample_rate = 1.0;
     uint64_t sampled_refs = 0;
+    /// Online-mode provenance, carried so a snapshot Get materializes
+    /// the same IndexStats the publisher put in (see index_stats.h).
+    uint64_t online_generation = 0;
+    uint64_t window_refs = 0;
+    double drift_error = 0.0;
     /// Quarantined entries resolve (so provenance can say *why* the
     /// estimate degraded) but expose no trustworthy view.
     bool quarantined = false;

@@ -27,6 +27,10 @@ namespace {
 // via the endian tag, which on every supported target (x86-64, AArch64)
 // makes host order and file order the same thing.
 constexpr uint32_t kEndianTag = 0x0a0b0c0d;
+// kEndianTag as an opposite-endianness host would have written it: seeing
+// this exact value means the file is a structurally sound v3 catalog from
+// a foreign-order machine, not random damage.
+constexpr uint32_t kEndianTagSwapped = 0x0d0c0b0a;
 
 struct HeaderV3 {
   char magic[8];
@@ -64,8 +68,15 @@ struct EntryFixedV3 {
   uint64_t sampled_refs;
   double clustering;
   double sample_rate;
+  // Online-mode provenance (trailing so the first 80 bytes keep the
+  // pre-online layout). A pre-extension v3 image read by this decoder
+  // fails its per-entry CRC — the growth is detected, never silently
+  // misread.
+  uint64_t online_generation;
+  uint64_t window_refs;
+  double drift_error;
 };
-static_assert(sizeof(EntryFixedV3) == 80, "v3 fixed fields are 80 bytes");
+static_assert(sizeof(EntryFixedV3) == 104, "v3 fixed fields are 104 bytes");
 
 // The zero-copy path reinterprets the mapped knot region as Knot[]; that
 // is only sound while Knot stays a trivially-copyable (x, y) double pair
@@ -114,11 +125,21 @@ Result<ParsedV3> ParseV3(const char* data, size_t size) {
   if (std::memcmp(header.magic, CatalogV3::kMagic, 8) != 0) {
     return corrupt("bad magic");
   }
+  // Endian before version: the magic is a byte string and survives a
+  // foreign-order writer, but every multi-byte field after it — version
+  // included — arrives byte-swapped. Checking the version first would
+  // report a cross-endian file as "unsupported version 50331648"; the
+  // tag (and its exact byte-swapped image) names the real problem.
+  if (header.endian != kEndianTag) {
+    if (header.endian == kEndianTagSwapped) {
+      return corrupt(
+          "foreign byte order (file written on an opposite-endianness "
+          "host)");
+    }
+    return corrupt("foreign byte order (endian tag damaged)");
+  }
   if (header.version != CatalogV3::kVersion) {
     return corrupt("unsupported version " + std::to_string(header.version));
-  }
-  if (header.endian != kEndianTag) {
-    return corrupt("foreign byte order");
   }
   if (Crc32c(data, sizeof(HeaderV3) - sizeof(uint32_t)) !=
       header.header_crc) {
@@ -181,6 +202,9 @@ Result<IndexStats> MaterializeEntry(const ParsedEntry& entry) {
   stats.sampled_refs = fixed.sampled_refs;
   stats.clustering = fixed.clustering;
   stats.sample_rate = fixed.sample_rate;
+  stats.online_generation = fixed.online_generation;
+  stats.window_refs = fixed.window_refs;
+  stats.drift_error = fixed.drift_error;
   if (entry.knot_count > 0) {
     std::vector<Knot> knots(entry.knot_count);
     std::memcpy(knots.data(), entry.knot_bytes,
@@ -225,6 +249,9 @@ std::string CatalogV3::Encode(
     fixed.sampled_refs = stats.sampled_refs;
     fixed.clustering = stats.clustering;
     fixed.sample_rate = stats.sample_rate;
+    fixed.online_generation = stats.online_generation;
+    fixed.window_refs = stats.window_refs;
+    fixed.drift_error = stats.drift_error;
 
     record.fixed_offset = payload_offset + payloads.size();
     AppendBytes(&payloads, &fixed, sizeof(fixed));
@@ -446,6 +473,9 @@ Result<std::shared_ptr<const CatalogSnapshot>> OpenCatalogSnapshotV3(
     entry.f_min = fixed.f_min;
     entry.sample_rate = fixed.sample_rate;
     entry.sampled_refs = fixed.sampled_refs;
+    entry.online_generation = fixed.online_generation;
+    entry.window_refs = fixed.window_refs;
+    entry.drift_error = fixed.drift_error;
     entries.push_back(entry);
   }
   return CatalogV3Builder::Make(std::move(entries), generation,

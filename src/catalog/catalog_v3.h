@@ -24,8 +24,9 @@ namespace epfis {
 ///   [ index table   ] one 40 B record per entry: name offset/size, knot
 ///                     count, offsets of the packed fixed fields and the
 ///                     knot array, CRC32C of the entry's payload bytes
-///   [ entry payloads] per entry: 80 B packed fixed fields (the uint64
-///                     shape counters + clustering + sampling provenance),
+///   [ entry payloads] per entry: 104 B packed fixed fields (the uint64
+///                     shape counters + clustering + sampling and
+///                     online-mode provenance),
 ///                     then the FPF knots as (double x, double y) pairs,
 ///                     all 8-byte aligned so a mapped file can be read in
 ///                     place

@@ -65,6 +65,14 @@ std::string ParseField(const std::string& line, IndexStats* current) {
     current->sample_rate = std::strtod(value.c_str(), nullptr);
   } else if (key == "sampled_refs") {
     current->sampled_refs = std::strtoull(value.c_str(), nullptr, 10);
+  } else if (key == "online_generation") {
+    // Online-mode provenance trio: absent in pre-online catalogs, where
+    // the IndexStats zero defaults (a batch entry) apply.
+    current->online_generation = std::strtoull(value.c_str(), nullptr, 10);
+  } else if (key == "window_refs") {
+    current->window_refs = std::strtoull(value.c_str(), nullptr, 10);
+  } else if (key == "drift_error") {
+    current->drift_error = std::strtod(value.c_str(), nullptr);
   } else if (key == "knots") {
     if (value.empty()) return "";
     std::vector<Knot> knots;
@@ -202,6 +210,9 @@ std::string StatsCatalog::SaveToStringLocked() const {
     body << "clustering=" << FormatDouble(s.clustering) << '\n';
     body << "sample_rate=" << FormatDouble(s.sample_rate) << '\n';
     body << "sampled_refs=" << s.sampled_refs << '\n';
+    body << "online_generation=" << s.online_generation << '\n';
+    body << "window_refs=" << s.window_refs << '\n';
+    body << "drift_error=" << FormatDouble(s.drift_error) << '\n';
     body << "knots=";
     if (s.fpf.has_value()) {
       bool first = true;

@@ -30,6 +30,7 @@
 #include "epfis/fpf_curve.h"   // IWYU pragma: export
 #include "epfis/index_stats.h" // IWYU pragma: export
 #include "epfis/lru_fit.h"     // IWYU pragma: export
+#include "epfis/online_lru_fit.h" // IWYU pragma: export
 #include "epfis/trace_source.h" // IWYU pragma: export
 
 #endif  // EPFIS_EPFIS_EPFIS_H_

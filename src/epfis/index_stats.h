@@ -64,6 +64,16 @@ struct IndexStats {
   /// exact); the absolute sample size behind `sample_rate`.
   uint64_t sampled_refs = 0;
 
+  /// Online-mode provenance (DESIGN.md §14). Batch entries leave all
+  /// three at their zero defaults; entries published by OnlineLruFit
+  /// record which publish of that engine produced them, the sliding
+  /// window (in references) the decayed curve was maintained over, and
+  /// the drift error against the previously published curve at publish
+  /// time (0 for the bootstrap publish of an index with no prior entry).
+  uint64_t online_generation = 0;
+  uint64_t window_refs = 0;
+  double drift_error = 0.0;
+
   /// The approximated FPF curve: buffer size -> full-scan page fetches.
   /// Stored as line-segment knots exactly as the paper's catalog entry.
   std::optional<PiecewiseLinear> fpf;

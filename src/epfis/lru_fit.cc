@@ -67,6 +67,19 @@ Status LruFitOptions::Validate() const {
     return Status::InvalidArgument(
         "LRU-Fit: sample_rate must be in (0, 1]");
   }
+  if (pool != nullptr && sample_max_pages > 0) {
+    // Fixed-size adaptive sampling evolves one global threshold as the
+    // trace reveals its working set; shards racing that threshold would
+    // sample different page subsets than the serial pass. The sharded
+    // path used to fall back to the serial kernel silently, turning a
+    // requested parallel run into a serial one with no sign why — reject
+    // the combination instead. RunLruFitBatch jobs are unaffected: the
+    // batch resets `pool` per job, and those jobs legitimately run the
+    // adaptive pass on the serial kernel.
+    return Status::InvalidArgument(
+        "LRU-Fit: sample_max_pages (fixed-size adaptive sampling) is "
+        "serial-only; unset options.pool or use fixed-rate sample_rate");
+  }
   return Status::Ok();
 }
 

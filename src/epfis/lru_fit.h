@@ -60,13 +60,17 @@ struct LruFitOptions {
   /// Fixed-size adaptive sampling: cap the sampled-page set at this many
   /// distinct pages, lowering the rate on the fly as the trace reveals
   /// its working set (bounds memory, runs serial). 0 disables the cap.
-  /// Composable with `sample_rate` as the starting rate.
+  /// Composable with `sample_rate` as the starting rate. Serial-only:
+  /// combining a non-zero cap with `pool` is an InvalidArgument (the
+  /// evolving threshold cannot be sharded); RunLruFitBatch jobs run it
+  /// on the serial kernel, parallelism coming from the jobs themselves.
   uint64_t sample_max_pages = 0;
 
   /// Checks the options for internal consistency: at least one segment,
   /// a non-zero B_sml, overrides with b_min_override <= b_max_override,
-  /// and a sample rate in (0, 1]. RunLruFit calls this first, so option
-  /// errors surface as InvalidArgument before any simulation work starts.
+  /// a sample rate in (0, 1], and no pool alongside sample_max_pages.
+  /// RunLruFit calls this first, so option errors surface as
+  /// InvalidArgument before any simulation work starts.
   Status Validate() const;
 };
 

@@ -458,7 +458,15 @@ Status UringTraceSource::Reset() {
   Ring& r = *ring_;
   // A sticky failure does not block a rewind — the ring restarts from a
   // clean window — but in-flight reads must still leave the kernel first.
-  EPFIS_RETURN_IF_ERROR(r.DrainAll());
+  // The drain runs in teardown mode: a read that completes short
+  // mid-rewind must be marked done, not resubmitted as a continuation —
+  // the whole window is about to be discarded, and a continuation left
+  // pending against a slot cleared below would later land stale bytes in
+  // the fresh window (and leak an SQE past the drain).
+  r.teardown = true;
+  Status drained = r.DrainAll();
+  r.teardown = false;
+  EPFIS_RETURN_IF_ERROR(drained);
   for (auto& s : r.slots) s = Ring::SlotState{};
   r.pos = 0;
   r.next_submit = 0;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -135,6 +136,64 @@ TEST(CatalogV3Test, BadMagicIsCorruption) {
   StatsCatalog catalog;
   EXPECT_EQ(catalog.LoadFromString("EPFSCATX garbage").code(),
             StatusCode::kCorruption);
+}
+
+TEST(CatalogV3Test, CrossEndianImageIsClearCorruption) {
+  // Byte-craft the file an opposite-endianness host would have written:
+  // the magic is a char string (endianness-neutral), but every multi-byte
+  // header field lands byte-swapped. Regression: the endian tag used to be
+  // checked *after* the version field, so such a file surfaced as
+  // "unsupported version 50331648" (3 byte-swapped) — noise that sent
+  // operators hunting a nonexistent version skew instead of the real
+  // problem. The tag must be checked first and the error must say so.
+  StatsCatalog catalog;
+  catalog.Put(MakeStats("endian.key", 600, 0.4));
+  std::string image = catalog.SaveToStringV3();
+  // Header layout: magic[8], version u32 @8, endian u32 @12.
+  std::reverse(image.begin() + 8, image.begin() + 12);
+  std::reverse(image.begin() + 12, image.begin() + 16);
+
+  StatsCatalog strict;
+  Status status = strict.LoadFromString(image);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("foreign byte order"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("opposite-endianness"), std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(status.message().find("version"), std::string::npos)
+      << "cross-endian file misreported as a version mismatch: "
+      << status.ToString();
+
+  // Structural, not per-entry: recovery mode refuses the file too.
+  StatsCatalog recovering;
+  EXPECT_FALSE(recovering.RecoverFromString(image).ok());
+
+  // The zero-copy open path reports the same verdict.
+  std::string path = testing::TempDir() + "/epfis_v3_cross_endian.cat";
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fwrite(image.data(), 1, image.size(), f);
+    fclose(f);
+  }
+  auto snapshot = OpenCatalogSnapshotV3(path);
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_EQ(snapshot.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(snapshot.status().message().find("foreign byte order"),
+            std::string::npos)
+      << snapshot.status().ToString();
+  std::remove(path.c_str());
+
+  // A damaged tag that matches neither byte order is reported as damage,
+  // not as a foreign writer.
+  std::string damaged = catalog.SaveToStringV3();
+  damaged[12] ^= 0x55;
+  StatsCatalog loaded;
+  Status damaged_status = loaded.LoadFromString(damaged);
+  EXPECT_EQ(damaged_status.code(), StatusCode::kCorruption);
+  EXPECT_NE(damaged_status.message().find("endian tag damaged"),
+            std::string::npos)
+      << damaged_status.ToString();
 }
 
 TEST(CatalogV3Test, TruncationIsStructuralCorruption) {

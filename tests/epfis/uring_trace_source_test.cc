@@ -199,6 +199,68 @@ TEST(UringTraceSourceTest, EmptyTraceIsValidAndDrainsImmediately) {
   EXPECT_EQ(source->Next(buf, 4).value(), 0u);
 }
 
+TEST(UringTraceSourceTest, ResetWithReadsInFlightReplaysIdentically) {
+  if (!UringTraceSource::Supported()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  // Regression: Reset used to drain in normal mode, so a read completing
+  // short mid-rewind was *resubmitted* as a continuation against slot
+  // state about to be wiped — wasted I/O at best, a stale buffer replayed
+  // into the post-Reset stream at worst. The drain now runs in teardown
+  // mode. Reset here happens (a) immediately after Open, with the whole
+  // read-ahead window in flight and nothing consumed, and (b) mid-stream,
+  // with the cursor inside a block; both replays must be byte-identical.
+  Rng rng(23);
+  std::vector<PageId> trace;
+  for (int i = 0; i < 300'000; ++i) {
+    trace.push_back(static_cast<PageId>(rng.NextBounded(7777)));
+  }
+  TempTraceFile file("reset_inflight");
+  ASSERT_TRUE(SavePageTrace(trace, file.path()).ok());
+
+  auto source = UringTraceSource::Open(file.path());
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+
+  // (a) Nothing consumed, reads in flight.
+  ASSERT_TRUE(source->Reset().ok());
+
+  // (b) Consume into the middle of a block, then rewind.
+  std::vector<PageId> buf(100'003);
+  auto n = source->Next(buf.data(), buf.size());
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, buf.size());
+  ASSERT_TRUE(source->Reset().ok());
+
+  std::vector<PageId> drained;
+  std::vector<PageId> chunk(4'099);
+  for (;;) {
+    auto got = source->Next(chunk.data(), chunk.size());
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    if (*got == 0) break;
+    drained.insert(drained.end(), chunk.begin(), chunk.begin() + *got);
+  }
+  EXPECT_EQ(drained, trace) << "stale pre-Reset buffers replayed";
+}
+
+TEST(UringTraceSourceTest, RepeatedResetsOnEmptyTraceStayClean) {
+  if (!UringTraceSource::Supported()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  // An empty-but-valid trace has no blocks to submit: Reset must not
+  // wait for (or leak) SQEs that were never queued, no matter how often
+  // it runs or whether a drain preceded it.
+  TempTraceFile file("reset_empty");
+  ASSERT_TRUE(SavePageTrace({}, file.path()).ok());
+  auto source = UringTraceSource::Open(file.path());
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  PageId buf[4];
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(source->Reset().ok()) << "iteration " << i;
+    EXPECT_EQ(source->Next(buf, 4).value(), 0u);
+    EXPECT_EQ(source->Next(buf, 4).value(), 0u);  // Stays drained.
+  }
+}
+
 TEST(UringTraceSourceTest, MoveTransfersTheRing) {
   if (!UringTraceSource::Supported()) {
     GTEST_SKIP() << "io_uring unavailable on this kernel";

@@ -18,6 +18,7 @@
 #include "catalog/stats_catalog.h"
 #include "epfis/est_io.h"
 #include "epfis/lru_fit.h"
+#include "epfis/online_lru_fit.h"
 #include "epfis/trace_io.h"
 #include "epfis/trace_source.h"
 #include "util/fault.h"
@@ -162,6 +163,22 @@ class FaultSweepTest : public testing::Test {
       LruFitBatchResult batch = RunLruFitBatch(std::move(jobs), pool,
                                                &catalog);
       for (const Status& s : batch.statuses) record(s);
+    }
+
+    // Online engine (online.refresh.emit, online.publish): six intervals
+    // over the fixture trace, the first refresh bootstrap-publishing into
+    // the engine's own empty catalog, so both points are consulted on
+    // every clean pass. A fault inside a refresh surfaces out of Ingest;
+    // the engine stays usable and the next interval retries.
+    {
+      StatsCatalog online_catalog;
+      OnlineLruFitOptions online_options;
+      online_options.table_pages = 300;
+      online_options.distinct_keys = 100;
+      online_options.window_refs = 20000;
+      online_options.refresh_interval = 5000;
+      OnlineLruFit engine("ix_online", online_options, &online_catalog);
+      record(engine.Ingest(trace_));
     }
 
     // Est-IO catalog lookup (est_io.lookup) — against the loaded catalog,
