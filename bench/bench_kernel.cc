@@ -13,9 +13,15 @@
 //   --refs=N      references in the trace        (default 10000000)
 //   --pages=N     distinct data pages            (default refs/50)
 //   --theta=F     Zipf skew                      (default 0.86)
-//   --threads=N   sharded-scaling sweep ceiling: runs 1,2,4,8,... up to N
+//   --threads=N   sharded-scaling sweep ceiling: runs 1,2,4,8,... up to N,
+//                 each with the streaming overlap merge on AND off
 //                 (0 = skip the sweep)           (default 0)
 //   --pin=0|1     pin shard workers to CPUs, NUMA round-robin (default 1)
+//   --gate-overlap=0|1  fail (exit 1) if overlap-on throughput falls more
+//                 than 5% under overlap-off at any swept count >= 2
+//                 threads (at 1 thread the two are within noise — there
+//                 is no concurrent pass to hide the merge behind)
+//                                                (default 0)
 //   --batch=N     pipeline batch width for the single-thread runs
 //                 (0 = kernel default)           (default 0)
 //   --sweep-batch=0|1  also time batch widths {1,2,4,8}  (default 1)
@@ -96,6 +102,7 @@ int main(int argc, char** argv) {
   const double theta = args.GetDouble("theta", 0.86);
   const size_t max_threads = static_cast<size_t>(args.GetInt("threads", 0));
   const bool pin = args.GetBool("pin", true);
+  const bool gate_overlap = args.GetBool("gate-overlap", false);
   const size_t batch = static_cast<size_t>(args.GetInt("batch", 0));
   const bool sweep_batch = args.GetBool("sweep-batch", true);
   const int reps = static_cast<int>(args.GetInt("reps", 3));
@@ -213,43 +220,66 @@ int main(int argc, char** argv) {
 
   // Sharded scaling sweep: 1, 2, 4, 8, ... threads up to --threads, each
   // on a pool whose workers are (optionally) pinned round-robin across
-  // NUMA nodes before they first-touch their shard structures.
-  std::vector<VariantResult> scaling;
+  // NUMA nodes before they first-touch their shard structures. Each
+  // thread count runs twice — streaming overlap merge on, then off — so
+  // the curve shows what hiding the merge behind the shard passes buys.
+  struct ScalingPoint {
+    size_t threads = 0;
+    double overlap_s = 0;   // Best-of-reps, overlap merge on.
+    double barrier_s = 0;   // Best-of-reps, overlap merge off.
+    uint64_t pinned = 0;
+    bool bit_identical = false;
+  };
+  std::vector<ScalingPoint> scaling;
+  bool overlap_gate_ok = true;
   for (size_t t = 1; t <= max_threads; t *= 2) {
     ThreadPool::Options pool_options;
     pool_options.pin_workers = pin;
     ThreadPool pool(t, pool_options);
     VectorTraceSource source = VectorTraceSource::View(trace);
-    double best_s = 0;
-    bool run_identical = false;
-    for (int r = 0; r < reps; ++r) {
-      if (Status st = source.Reset(); !st.ok()) {
-        std::cerr << st.ToString() << '\n';
-        return 1;
+    ScalingPoint point;
+    point.threads = t;
+    point.bit_identical = true;
+    for (bool overlap : {true, false}) {
+      StackDistanceOptions sd_options;
+      sd_options.overlap_merge = overlap;
+      double best_s = 0;
+      for (int r = 0; r < reps; ++r) {
+        if (Status st = source.Reset(); !st.ok()) {
+          std::cerr << st.ToString() << '\n';
+          return 1;
+        }
+        auto t0 = std::chrono::steady_clock::now();
+        auto parallel = ComputeStackDistances(source, &pool, sd_options);
+        double s = SecondsSince(t0);
+        if (!parallel.ok()) {
+          std::cerr << parallel.status().ToString() << '\n';
+          return 1;
+        }
+        if (r == 0 || s < best_s) best_s = s;
+        point.bit_identical =
+            point.bit_identical && (*parallel == reference);
       }
-      auto t0 = std::chrono::steady_clock::now();
-      auto parallel = ComputeStackDistances(source, &pool);
-      double s = SecondsSince(t0);
-      if (!parallel.ok()) {
-        std::cerr << parallel.status().ToString() << '\n';
-        return 1;
-      }
-      if (r == 0 || s < best_s) best_s = s;
-      run_identical = *parallel == reference;
+      (overlap ? point.overlap_s : point.barrier_s) = best_s;
+      table.AddRow()
+          .Cell("sharded, " + std::to_string(t) + " thread(s)" +
+                (pin ? ", pinned" : "") +
+                (overlap ? ", overlap" : ", barrier"))
+          .Cell(best_s, 3)
+          .Cell(static_cast<double>(refs) / best_s / 1e6, 2)
+          .Cell(legacy_s / best_s, 2);
     }
-    VariantResult v;
-    v.name = "threads=" + std::to_string(t);
-    v.seconds = best_s;
-    v.bit_identical = run_identical;
-    v.detail = pool.pinned_workers();
-    identical = identical && v.bit_identical;
-    scaling.push_back(v);
-    table.AddRow()
-        .Cell("sharded, " + std::to_string(t) + " thread(s)" +
-              (pin ? ", pinned" : ""))
-        .Cell(best_s, 3)
-        .Cell(static_cast<double>(refs) / best_s / 1e6, 2)
-        .Cell(legacy_s / best_s, 2);
+    // Read after the runs: workers pin themselves on thread startup, so
+    // sampling the counter right after construction would race with them.
+    point.pinned = pool.pinned_workers();
+    identical = identical && point.bit_identical;
+    if (gate_overlap && t >= 2 && point.overlap_s > point.barrier_s * 1.05) {
+      std::cerr << "FAIL: overlap merge slower than barrier at " << t
+                << " threads (" << point.overlap_s << "s vs "
+                << point.barrier_s << "s)\n";
+      overlap_gate_ok = false;
+    }
+    scaling.push_back(point);
   }
 
   // Ingestion: the trace streamed back through the autodetected source
@@ -355,15 +385,18 @@ int main(int argc, char** argv) {
   if (!scaling.empty()) {
     json << "  \"pin_workers\": " << (pin ? "true" : "false") << ",\n"
          << "  \"scaling\": [\n";
-    double base = scaling.front().seconds;
+    double base = scaling.front().overlap_s;
     for (size_t i = 0; i < scaling.size(); ++i) {
-      const VariantResult& v = scaling[i];
-      size_t threads = size_t{1} << i;
-      json << "    {\"threads\": " << threads
-           << ", \"seconds\": " << v.seconds << ", \"mrefs_per_s\": "
-           << static_cast<double>(refs) / v.seconds / 1e6
-           << ", \"speedup_vs_1t\": " << base / v.seconds
-           << ", \"pinned_workers\": " << v.detail
+      const ScalingPoint& v = scaling[i];
+      json << "    {\"threads\": " << v.threads
+           << ", \"seconds\": " << v.overlap_s << ", \"mrefs_per_s\": "
+           << static_cast<double>(refs) / v.overlap_s / 1e6
+           << ", \"speedup_vs_1t\": " << base / v.overlap_s
+           << ", \"barrier_seconds\": " << v.barrier_s
+           << ", \"barrier_mrefs_per_s\": "
+           << static_cast<double>(refs) / v.barrier_s / 1e6
+           << ", \"overlap_gain\": " << v.barrier_s / v.overlap_s
+           << ", \"pinned_workers\": " << v.pinned
            << ", \"bit_identical\": "
            << (v.bit_identical ? "true" : "false") << "}"
            << (i + 1 < scaling.size() ? "," : "") << '\n';
@@ -387,5 +420,6 @@ int main(int argc, char** argv) {
               << gate_mrefs << " Mrefs/s floor\n";
     return 1;
   }
+  if (!overlap_gate_ok) return 1;
   return identical ? 0 : 1;
 }

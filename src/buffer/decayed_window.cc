@@ -62,4 +62,19 @@ double DecayedReuseWindow::TailWeight(uint64_t buffer_size) const {
   return tail;
 }
 
+double DecayedReuseWindow::TailWeightAt(double buffer_size) const {
+  if (buffer_size <= 0.0) return TailWeight(0);
+  double floor_b = std::floor(buffer_size);
+  uint64_t k = static_cast<uint64_t>(floor_b);
+  double frac = buffer_size - floor_b;
+  double tail = TailWeight(k);
+  if (frac == 0.0) return tail;
+  // Moving the boundary from k to k + frac sweeps a frac-share of bucket
+  // k + 1 (the references at distance exactly k + 1) out of the tail.
+  if (k + 1 < decayed_hist_.size()) {
+    tail -= frac * decayed_hist_[k + 1];
+  }
+  return tail < 0.0 ? 0.0 : tail;
+}
+
 }  // namespace epfis

@@ -63,6 +63,15 @@ class DecayedReuseWindow {
   /// histogram.Fetches(b) - cold_misses().
   double TailWeight(uint64_t buffer_size) const;
 
+  /// Fractional-boundary tail: linearly interpolates between the integer
+  /// tails at floor(buffer_size) and floor(buffer_size) + 1, treating the
+  /// bucket that straddles the boundary as uniformly spread. Fixed-rate
+  /// sampled queries land between sampled-domain buckets (a full-trace
+  /// size b maps to 1 + (b-1)/factor); rounding to the nearer bucket
+  /// staircases the deep tail, while this keeps the curve monotone in b.
+  /// Exactly TailWeight(b) whenever buffer_size is the integer b.
+  double TailWeightAt(double buffer_size) const;
+
   /// Absorb calls so far (observability; the online engine's refresh
   /// counter mirrors it).
   uint64_t absorbs() const { return absorbs_; }

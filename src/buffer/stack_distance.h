@@ -47,6 +47,14 @@ class StackDistanceHistogram {
     suffix_valid_ = false;
   }
 
+  /// Pre-sizes the bucket array so AddDistance/AddDistances up to
+  /// distance `max_d` never reallocate mid-merge. Purely an allocation
+  /// hint: no counts change, and trailing zero buckets never affect
+  /// equality (TrimmedHist) or any fetch count.
+  void ReserveDistances(uint64_t max_d) {
+    if (max_d >= hist_.size()) hist_.resize(max_d + 1, 0);
+  }
+
   /// Number of page fetches a `buffer_size`-slot LRU buffer would have
   /// performed on the trace. `buffer_size == 0` means no buffer at all:
   /// every reference misses, so the total reference count is returned.

@@ -160,15 +160,23 @@ std::vector<double> OnlineLruFit::LiveFetches(
   std::vector<double> fetches;
   fetches.reserve(sizes.size());
   for (uint64_t b : sizes) {
-    uint64_t b_query = b;
+    // Fixed-rate buckets live in the sampled domain: a full-trace size b
+    // maps to 1 + (b - 1)/factor, which is almost never an integer. Query
+    // the fractional boundary directly — rounding to the nearer bucket
+    // staircases the deep tail, where one sampled-domain bucket spans
+    // `factor` full-trace sizes.
+    double b_query = static_cast<double>(b);
     if (factor > 1.0 && b > 0) {
-      b_query = 1 + static_cast<uint64_t>(std::llround(
-                        static_cast<double>(b - 1) / factor));
+      // Centered against the batch rescale, which lands sampled bucket d
+      // at full-trace bucket 1 + round((d-1)·factor): a tail cut at b
+      // excludes bucket d exactly when (d-1)·factor >= b - 0.5, so the
+      // matching sampled-domain boundary is offset by the half unit.
+      b_query = 1.0 + (static_cast<double>(b) - 0.5) / factor;
     }
     double est = a;
     if (rerefs > 0.0) {
       est += (n - a) *
-             Clamp(tail_scale * window_.TailWeight(b_query) / rerefs, 0.0,
+             Clamp(tail_scale * window_.TailWeightAt(b_query) / rerefs, 0.0,
                    1.0);
     }
     fetches.push_back(Clamp(est, a, n));

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "buffer/decayed_window.h"
 #include "catalog/stats_catalog.h"
 #include "epfis/est_io.h"
 #include "epfis/lru_fit.h"
@@ -77,6 +78,47 @@ TEST(DriftDetectorTest, NanBeforeAnyEvidenceStaysQuiet) {
     EXPECT_FALSE(detector.Observe(kNaN));
     EXPECT_EQ(detector.streak(), 0);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fractional tail queries on the decayed window.
+
+TEST(DecayedReuseWindowTest, TailWeightAtInterpolatesBetweenBuckets) {
+  DecayedReuseWindow window(1'000'000);  // Huge W: no visible decay.
+  StackDistanceHistogram hist;
+  hist.AddColdMiss();
+  hist.AddDistances(1, 4);
+  hist.AddDistances(2, 10);
+  hist.AddDistances(5, 6);
+  SamplingSummary summary;
+  summary.total_refs = hist.accesses();
+  window.Absorb(hist, summary);
+
+  // At integer boundaries the fractional query is exactly the integer one.
+  for (uint64_t b = 0; b <= 7; ++b) {
+    EXPECT_DOUBLE_EQ(window.TailWeightAt(static_cast<double>(b)),
+                     window.TailWeight(b))
+        << "b=" << b;
+  }
+  EXPECT_DOUBLE_EQ(window.TailWeight(0), 20.0);
+  EXPECT_DOUBLE_EQ(window.TailWeight(1), 16.0);
+
+  // Between b and b+1 the boundary sweeps bucket b+1 linearly: at 0.25 a
+  // quarter of bucket 1's weight (4) has left the tail.
+  EXPECT_DOUBLE_EQ(window.TailWeightAt(0.25), 20.0 - 0.25 * 4.0);
+  EXPECT_DOUBLE_EQ(window.TailWeightAt(1.5), 16.0 - 0.5 * 10.0);
+  EXPECT_DOUBLE_EQ(window.TailWeightAt(4.75), 6.0 - 0.75 * 6.0);
+
+  // Monotone non-increasing in b, even across empty buckets, and zero
+  // (not negative) past the deepest bucket.
+  double prev = window.TailWeightAt(0.0);
+  for (double b = 0.1; b < 8.0; b += 0.1) {
+    double cur = window.TailWeightAt(b);
+    EXPECT_LE(cur, prev + 1e-12) << "b=" << b;
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(window.TailWeightAt(6.5), 0.0);
+  EXPECT_DOUBLE_EQ(window.TailWeightAt(-1.0), window.TailWeight(0));
 }
 
 TEST(DriftDetectorTest, PatienceOneTriggersOnFirstExcursion) {
@@ -221,17 +263,28 @@ TEST(OnlineLruFitTest, StationaryStreamConvergesToBatch) {
 
   auto live_exact = exact_engine->BuildStats();
   ASSERT_TRUE(live_exact.ok());
-  EXPECT_LE(max_rel_err(*live_exact, *batch, 1.0), 0.053)
+  EXPECT_LE(max_rel_err(*live_exact, *batch, 1.0), 0.032)
       << "exact windowed curve drifted from batch";
 
   // The sampled comparison stops at 80% of the knot span: in the deepest
   // tail (buffers approaching the table size) the reference's own
   // rescale quantization error dominates a shrinking denominator — the
   // windowed curve actually sits *closer* to the exact batch there.
+  //
+  // The band against the equally-sampled batch is a little wider than the
+  // exact-mode one: the live estimator answers fractional-boundary tail
+  // queries (TailWeightAt), while the batch reference rescales onto a
+  // round-to-nearest staircase, so the two legitimately disagree by up to
+  // a bucket fraction between bucket centers. The second assertion pins
+  // what actually matters — the interpolated live curve must track the
+  // exact truth at least as well as that staircase reference does.
   auto live_sampled = sampled_engine->BuildStats();
   ASSERT_TRUE(live_sampled.ok());
-  EXPECT_LE(max_rel_err(*live_sampled, *batch_sampled, 0.8), 0.053)
+  EXPECT_LE(max_rel_err(*live_sampled, *batch_sampled, 0.8), 0.06)
       << "sampled windowed curve drifted from the equally-sampled batch";
+  EXPECT_LE(max_rel_err(*live_sampled, *batch, 0.8),
+            max_rel_err(*batch_sampled, *batch, 0.8) + 0.005)
+      << "interpolated live curve lost accuracy against the exact truth";
 
   // The engine may republish a few times while the early, noisier window
   // settles (self-correcting the bootstrap entry); what matters is that
@@ -239,7 +292,7 @@ TEST(OnlineLruFitTest, StationaryStreamConvergesToBatch) {
   EXPECT_GE(sampled_engine->publishes(), 1u);
   auto published = sampled_catalog.Get("ix");
   ASSERT_TRUE(published.ok());
-  EXPECT_LE(max_rel_err(*published, *batch_sampled, 0.8), 0.053)
+  EXPECT_LE(max_rel_err(*published, *batch_sampled, 0.8), 0.06)
       << "published entry did not converge";
 }
 

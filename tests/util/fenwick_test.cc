@@ -77,6 +77,60 @@ TEST(FenwickTest, ResizeSmallerIsNoOp) {
   EXPECT_EQ(tree.RangeSum(5, 5), 5);
 }
 
+TEST(FenwickTest, MovePairMatchesAddPair) {
+  // MovePair(from, to) must leave the *stored tree* identical to
+  // Add(from, -1) + Add(to, +1) — not just the same prefix sums, since the
+  // merge path mixes MovePair with later Adds and queries at every index.
+  const size_t n = 64;
+  Rng rng(31);
+  FenwickTree fused(n);
+  FenwickTree plain(n);
+  // Seed both with the same random contents.
+  for (int i = 0; i < 100; ++i) {
+    size_t at = static_cast<size_t>(rng.NextBounded(n));
+    int64_t delta = rng.NextInRange(-3, 3);
+    fused.Add(at, delta);
+    plain.Add(at, delta);
+  }
+  for (int op = 0; op < 500; ++op) {
+    size_t from = static_cast<size_t>(rng.NextBounded(n));
+    size_t to = op % 7 == 0 ? from  // Exercise the no-op case too.
+                            : static_cast<size_t>(rng.NextBounded(n));
+    fused.MovePair(from, to);
+    plain.Add(from, -1);
+    plain.Add(to, +1);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(fused.PrefixSum(i), plain.PrefixSum(i))
+          << "op " << op << " from " << from << " to " << to << " i " << i;
+    }
+  }
+}
+
+TEST(FenwickTest, ResizePreservesRandomContents) {
+  // The O(n) rebuild must preserve every point value across repeated
+  // geometric growth, interleaved with updates — the exact usage pattern
+  // of the streaming merge's live axis.
+  Rng rng(47);
+  size_t n = 3;
+  FenwickTree tree(n);
+  std::vector<int64_t> naive(n, 0);
+  for (int round = 0; round < 6; ++round) {
+    for (int op = 0; op < 60; ++op) {
+      size_t i = static_cast<size_t>(rng.NextBounded(n));
+      int64_t delta = rng.NextInRange(-4, 4);
+      tree.Add(i, delta);
+      naive[i] += delta;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(tree.RangeSum(i, i), naive[i]) << "round " << round;
+    }
+    n = n * 2 + 1;
+    tree.Resize(n);
+    naive.resize(n, 0);
+    ASSERT_EQ(tree.size(), n);
+  }
+}
+
 TEST(FenwickTest, AssignPrefixOnesBuildsDensePrefix) {
   FenwickTree tree(4);
   tree.Add(2, 9);  // Old contents must be discarded.
