@@ -12,10 +12,12 @@
 
 #include "buffer/stack_distance_kernel.h"
 #include "obs/metrics.h"
+#include "util/cancel.h"
 #include "util/fault.h"
 #include "util/fenwick.h"
 #include "util/flat_hash.h"
 #include "util/thread_pool.h"
+#include "util/watchdog.h"
 
 namespace epfis {
 namespace {
@@ -63,6 +65,11 @@ void PublishSamplingMetrics(const SamplingSummary& summary) {
 // How far ahead the shard pass and the merge pass prefetch last-access
 // slots (matches the serial kernel's scheme).
 constexpr size_t kPrefetchAhead = 8;
+
+// Cancellation-poll / heartbeat cadence inside a shard pass: one relaxed
+// poll (and optional watchdog beat) every this many references. Power of
+// two so the gate is a mask test on the loop index.
+constexpr size_t kCancelCheckMask = (size_t{1} << 16) - 1;
 
 // Chunk size (in references) of the streaming read buffer, shared by the
 // serial kernel feed and the parallel reader.
@@ -130,7 +137,11 @@ struct ShardResult {
 // prefetch, and the one-sided count `table_size - PrefixSum(prev - 1)` in
 // place of the two-sided RangeSum (every live bit is at a local time < i,
 // and the table holds one live bit per distinct page seen).
-ShardResult ProcessShard(const std::vector<PageId>& shard, uint64_t offset) {
+Result<ShardResult> ProcessShard(const std::vector<PageId>& shard,
+                                 uint64_t offset,
+                                 const CancellationToken& token,
+                                 const Deadline& deadline,
+                                 Watchdog::Heartbeat* heartbeat) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   static Counter shards_counter = registry.GetCounter("sd.shards");
   static Counter shard_refs_counter = registry.GetCounter("sd.shard_refs");
@@ -144,6 +155,11 @@ ShardResult ProcessShard(const std::vector<PageId>& shard, uint64_t offset) {
   FenwickTree live(shard.empty() ? 1 : shard.size());
   FlatHashMap<PageId, uint64_t, kInvalidPageId> last(shard.size() / 4 + 8);
   for (size_t i = 0; i < shard.size(); ++i) {
+    if ((i & kCancelCheckMask) == 0) {
+      if (heartbeat != nullptr) heartbeat->Beat();
+      EPFIS_RETURN_IF_ERROR(CheckCancel(token, deadline,
+                                        "stack distance shard"));
+    }
     if (i + kPrefetchAhead < shard.size()) {
       last.Prefetch(shard[i + kPrefetchAhead]);
     }
@@ -177,13 +193,16 @@ ShardResult ProcessShard(const std::vector<PageId>& shard, uint64_t offset) {
   return result;
 }
 
-Result<SampledStackDistances> ComputeSerial(TraceSource& trace,
-                                            const SamplingOptions& sampling) {
+Result<SampledStackDistances> ComputeSerial(
+    TraceSource& trace, const StackDistanceOptions& options) {
+  const SamplingOptions& sampling = options.sampling;
   size_t expected = static_cast<size_t>(trace.size_hint().value_or(1024));
   StackDistanceKernel kernel(expected == 0 ? 1 : expected,
                              /*window_hint=*/0, sampling);
   std::vector<PageId> buffer(kTraceChunkRefs);
   for (;;) {
+    EPFIS_RETURN_IF_ERROR(
+        CheckCancel(options.cancel, options.deadline, "stack distance"));
     EPFIS_ASSIGN_OR_RETURN(size_t n, trace.Next(buffer.data(), buffer.size()));
     if (n == 0) break;
     kernel.AccessAll(buffer.data(), n);
@@ -291,6 +310,12 @@ Result<StackDistanceHistogram> ComputeParallel(
                           ? options.num_shards
                           : AutoShardCount(pool.num_threads());
   size_t min_refs = std::max<size_t>(options.min_shard_refs, 1);
+  // The run's token. With a watchdog, shard workers beat per ~64K refs and
+  // a stalled worker fires this token; a Child() keeps the watchdog from
+  // ever firing the caller's own token.
+  CancellationToken run_token =
+      options.watchdog != nullptr ? options.cancel.Child() : options.cancel;
+  const Deadline deadline = options.deadline;
   const bool filtered = threshold < kSampleModulus;
   const double rate = static_cast<double>(threshold) /
                       static_cast<double>(kSampleModulus);
@@ -374,6 +399,7 @@ Result<StackDistanceHistogram> ComputeParallel(
   };
   auto merge_step = [&](const ShardResult& r) {
     Status s = FaultPoint("sd.merge.step");
+    if (s.ok()) s = CheckCancel(run_token, deadline, "stack distance merge");
     if (!s.ok()) {
       if (first_error.ok()) first_error = s;
       return;
@@ -394,7 +420,18 @@ Result<StackDistanceHistogram> ComputeParallel(
     ++merged;
   };
   auto drain_one = [&] {
-    Result<ShardResult> r = futures[drained].get();
+    // A pool configured with a bounded queue or non-draining shutdown may
+    // resolve a future exceptionally instead of running the task; map
+    // those back into the status taxonomy like any other shard failure.
+    Result<ShardResult> r = [&]() -> Result<ShardResult> {
+      try {
+        return futures[drained].get();
+      } catch (const TaskCancelledError& e) {
+        return Status::Cancelled(e.what());
+      } catch (const PoolRejectedError& e) {
+        return Status::Unavailable(e.what());
+      }
+    }();
     ++drained;
     if (!r.ok()) {
       if (first_error.ok()) first_error = r.status();
@@ -422,10 +459,16 @@ Result<StackDistanceHistogram> ComputeParallel(
     shard_ends.push_back(sampled_refs);
     uint64_t offset = sampled_refs - shard.size();
     futures.push_back(pool.Submit(
-        [shard = std::move(shard), offset]() mutable -> Result<ShardResult> {
+        [shard = std::move(shard), offset, run_token, deadline,
+         watchdog = options.watchdog,
+         budget = options.watchdog_budget]() mutable -> Result<ShardResult> {
           try {
             EPFIS_RETURN_IF_ERROR(FaultPoint("sd.shard.task"));
-            return ProcessShard(shard, offset);
+            std::shared_ptr<Watchdog::Heartbeat> hb;
+            if (watchdog != nullptr) {
+              hb = watchdog->Watch("sd.shard", budget, run_token);
+            }
+            return ProcessShard(shard, offset, run_token, deadline, hb.get());
           } catch (const std::exception& e) {
             return Status::Internal(
                 std::string("stack distance shard failed: ") + e.what());
@@ -440,6 +483,11 @@ Result<StackDistanceHistogram> ComputeParallel(
   PageSeenSet seen;
   Status read_error;
   while (first_error.ok()) {
+    if (Status cs = CheckCancel(run_token, deadline, "stack distance");
+        !cs.ok()) {
+      first_error = cs;
+      break;
+    }
     Result<size_t> n_or = trace.Next(raw.data(), raw.size());
     if (!n_or.ok()) {
       read_error = n_or.status();
@@ -532,7 +580,7 @@ Result<SampledStackDistances> ComputeSampledStackDistances(
   // (whose per-job pool is legitimately null).
   if (pool == nullptr || pool->num_threads() <= 1 ||
       options.sampling.max_pages > 0) {
-    return ComputeSerial(trace, options.sampling);
+    return ComputeSerial(trace, options);
   }
   uint64_t threshold = options.sampling.rate < 1.0
                            ? SampleThresholdForRate(options.sampling.rate)

@@ -3,14 +3,18 @@
 
 #include <cstddef>
 
+#include <chrono>
+
 #include "buffer/sampling.h"
 #include "buffer/stack_distance.h"
 #include "epfis/trace_source.h"
+#include "util/cancel.h"
 #include "util/result.h"
 
 namespace epfis {
 
 class ThreadPool;
+class Watchdog;
 
 /// Tuning knobs for the sharded stack-distance computation.
 struct StackDistanceOptions {
@@ -44,6 +48,27 @@ struct StackDistanceOptions {
   /// serializing, so it always runs on the serial kernel (see DESIGN.md
   /// §10).
   SamplingOptions sampling;
+
+  /// Cooperative cancellation: polled per streamed chunk by the reader,
+  /// per ~64K references inside each shard pass, and before every merge
+  /// step. A fired token surfaces as Status::Cancelled after every
+  /// in-flight shard future has drained (the same first-error-drain path
+  /// a failed shard takes), so no task outlives the call. The default
+  /// null token costs one branch per poll.
+  CancellationToken cancel;
+
+  /// Wall-clock budget for the whole computation; checked at the same
+  /// poll points as `cancel` and surfaces as Status::DeadlineExceeded.
+  /// Defaults to infinite.
+  Deadline deadline;
+
+  /// When set, every shard pass registers a heartbeat with this watchdog
+  /// and beats per ~64K references; a worker silent past
+  /// `watchdog_budget` trips the run's token (a Child() of `cancel`, so
+  /// the caller's token is never fired by the watchdog) and the run
+  /// cancels cooperatively. Null (the default) disables stall detection.
+  Watchdog* watchdog = nullptr;
+  std::chrono::nanoseconds watchdog_budget = std::chrono::seconds(30);
 };
 
 /// Computes the LRU stack-distance histogram of `trace`.

@@ -28,6 +28,7 @@ struct EstIoMetrics {
   Counter degraded;
   Counter batches;
   Counter batch_probes;
+  Counter deadline_shed;
 
   static EstIoMetrics& Get() {
     static EstIoMetrics* metrics = [] {
@@ -44,6 +45,7 @@ struct EstIoMetrics {
       m->degraded = registry.GetCounter("est_io.degraded");
       m->batches = registry.GetCounter("est_io.batches");
       m->batch_probes = registry.GetCounter("est_io.batch_probes");
+      m->deadline_shed = registry.GetCounter("est_io.deadline_shed");
       return m;
     }();
     return *metrics;
@@ -304,8 +306,28 @@ Status EstIo::EstimateBatch(const CatalogSnapshot& snapshot,
     }
   }
 
+  // Overload protection: once the batch budget is gone, remaining probes
+  // are shed with provenance instead of estimated late. `guarded` keeps
+  // the unguarded (default) batch free of clock reads, and `shed` latches
+  // the first expiry so one batch drains at one verdict.
+  const bool guarded = options.cancel.valid() || !options.deadline.infinite();
+  Status shed;
   auto estimate_one = [&](size_t i) {
     const BatchProbe& probe = probes[i];
+    if (guarded) {
+      if (shed.ok()) {
+        shed = CheckCancel(options.cancel, options.deadline, "Est-IO batch");
+      }
+      if (!shed.ok()) {
+        metrics.deadline_shed.Increment();
+        CatalogEstimate out;
+        out.fetches = 0.0;
+        out.source = EstimateSource::kRejected;
+        out.stats_status = shed;
+        results[i] = std::move(out);
+        return;
+      }
+    }
     Status spec = ValidateScanSpec(probe.scan);
     if (!spec.ok()) {
       CatalogEstimate out;

@@ -7,6 +7,7 @@
 
 #include "catalog/catalog_snapshot.h"
 #include "epfis/index_stats.h"
+#include "util/cancel.h"
 #include "util/result.h"
 
 namespace epfis {
@@ -38,6 +39,20 @@ struct EstIoOptions {
   double correction_divisor = 6.0;
   /// Apply the heuristic correction term at all (for ablations).
   bool enable_correction = true;
+
+  /// Overload protection for EstimateBatch: once `deadline` expires or
+  /// `cancel` fires mid-batch, every not-yet-processed probe is shed —
+  /// written as kRejected with fetches 0 and a DeadlineExceeded (or
+  /// Cancelled) stats_status — instead of the batch running arbitrarily
+  /// past its budget. Probes estimated before the cutoff keep their real
+  /// results, the batch Status stays Ok (shedding is per-probe
+  /// provenance, not a caller error), and `est_io.deadline_shed` counts
+  /// the shed probes. The defaults (null token, infinite deadline) never
+  /// shed and keep batch results bit-identical to an unguarded batch.
+  /// Ignored by the single-probe entry points — one probe is microseconds
+  /// and not worth a clock read.
+  CancellationToken cancel;
+  Deadline deadline;
 };
 
 /// Description of the index scan being costed.
@@ -63,10 +78,12 @@ enum class EstimateSource {
   /// the coarse table shape. Coarser (no buffer-size dependence, no
   /// clustering), but never blocks compilation on a corrupt catalog.
   kFormulaFallback,
-  /// Batch-only: the probe's scan spec was invalid (see
-  /// EstIo::EstimateBatch). fetches is 0 and stats_status carries the
-  /// InvalidArgument explaining what was wrong; a rejected probe never
-  /// fails its batch-mates.
+  /// Batch-only: the probe was not estimated — its scan spec was invalid
+  /// (stats_status carries the InvalidArgument), or the batch's deadline
+  /// expired / cancel token fired before this probe was processed
+  /// (stats_status carries DeadlineExceeded / Cancelled; see
+  /// EstIoOptions::deadline). fetches is 0; a rejected probe never fails
+  /// its batch-mates.
   kRejected,
 };
 

@@ -41,6 +41,8 @@ Result<SampledStackDistances> SimulateTrace(TraceSource& trace,
   sd_options.num_shards = options.num_shards;
   sd_options.sampling.rate = options.sample_rate;
   sd_options.sampling.max_pages = options.sample_max_pages;
+  sd_options.cancel = options.cancel;
+  sd_options.deadline = options.deadline;
   auto result = ComputeSampledStackDistances(trace, options.pool, sd_options);
   if (!result.ok() &&
       result.status().code() == StatusCode::kInvalidArgument) {
@@ -123,6 +125,8 @@ Result<IndexStats> RunLruFit(TraceSource& trace, uint64_t table_pages,
   static LatencyHistogram fit_ns = registry.GetHistogram("lru_fit.fit_ns");
 
   EPFIS_RETURN_IF_ERROR(options.Validate());
+  EPFIS_RETURN_IF_ERROR(CheckCancel(options.cancel, options.deadline,
+                                    "LRU-Fit"));
   EPFIS_ASSIGN_OR_RETURN(ModelRange range,
                          DetermineRange(table_pages, options));
 
@@ -243,9 +247,20 @@ LruFitBatchResult RunLruFitBatch(std::vector<LruFitJob> jobs,
     }));
   }
   // Always drain every future — even after failures — so no task is left
-  // running against a destroyed LruFitJob.
+  // running against a destroyed LruFitJob. A job the pool never ran
+  // (shutdown cancelled it, or a bounded queue rejected it) resolves its
+  // future exceptionally; map those to the matching Status so callers see
+  // Cancelled/Unavailable per job instead of a batch-wide abort.
   for (size_t i = 0; i < futures.size(); ++i) {
-    batch.statuses[i] = futures[i].get();
+    batch.statuses[i] = [&]() -> Status {
+      try {
+        return futures[i].get();
+      } catch (const TaskCancelledError&) {
+        return Status::Cancelled("LRU-Fit batch: job cancelled before start");
+      } catch (const PoolRejectedError&) {
+        return Status::Unavailable("LRU-Fit batch: pool queue full");
+      }
+    }();
     if (batch.statuses[i].ok()) ++batch.num_ok;
   }
   jobs_ok.Increment(batch.num_ok);

@@ -11,6 +11,7 @@
 #include "epfis/index_stats.h"
 #include "epfis/trace_source.h"
 #include "storage/page.h"
+#include "util/cancel.h"
 #include "util/result.h"
 
 namespace epfis {
@@ -65,6 +66,17 @@ struct LruFitOptions {
   /// evolving threshold cannot be sharded); RunLruFitBatch jobs run it
   /// on the serial kernel, parallelism coming from the jobs themselves.
   uint64_t sample_max_pages = 0;
+
+  /// Cooperative cancellation and wall-clock budget for the whole fit:
+  /// forwarded into the stack simulation (serial chunks, parallel shards,
+  /// and the streaming merge all poll) and checked again between phases.
+  /// A fired token surfaces as Cancelled, an expired deadline as
+  /// DeadlineExceeded; the defaults (null token, infinite deadline) keep
+  /// completed runs bit-identical to an unguarded fit. In RunLruFitBatch
+  /// these act per job: set `deadline` on each job's options to bound
+  /// that job alone.
+  CancellationToken cancel;
+  Deadline deadline;
 
   /// Checks the options for internal consistency: at least one segment,
   /// a non-zero B_sml, overrides with b_min_override <= b_max_override,

@@ -86,6 +86,8 @@ Status OnlineLruFit::Ingest(const PageId* refs, size_t count) {
     return Status::FailedPrecondition("online LRU-Fit: no catalog attached");
   }
   while (count > 0) {
+    EPFIS_RETURN_IF_ERROR(CheckCancel(options_.cancel, options_.fit.deadline,
+                                      "online ingest"));
     uint64_t room = options_.refresh_interval - refs_since_refresh_;
     size_t take = static_cast<size_t>(
         std::min<uint64_t>(count, std::max<uint64_t>(room, 1)));
@@ -257,7 +259,20 @@ Status OnlineLruFit::PublishStats(double drift_error) {
   EPFIS_ASSIGN_OR_RETURN(IndexStats stats, BuildStats());
   stats.drift_error = drift_error;
   catalog_->Put(std::move(stats));
-  EPFIS_RETURN_IF_ERROR(catalog_->Publish());
+  // The RCU swap is atomic — a failed Publish leaves readers on the
+  // previous generation — so a transient failure (catalog spill hitting
+  // descriptor pressure) is safe to retry in place; retrying shortens the
+  // window during which Est-IO serves stale statistics.
+  if (options_.publish_retry_attempts > 1) {
+    BackoffOptions backoff;
+    backoff.max_attempts = options_.publish_retry_attempts;
+    backoff.initial = options_.publish_retry_initial;
+    backoff.cancel = options_.cancel;
+    EPFIS_RETURN_IF_ERROR(RetryWithBackoff(
+        backoff, [&] { return catalog_->Publish(); }, "catalog publish"));
+  } else {
+    EPFIS_RETURN_IF_ERROR(catalog_->Publish());
+  }
   ++publishes_;
   return Status::Ok();
 }

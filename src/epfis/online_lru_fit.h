@@ -1,6 +1,7 @@
 #ifndef EPFIS_EPFIS_ONLINE_LRU_FIT_H_
 #define EPFIS_EPFIS_ONLINE_LRU_FIT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -118,6 +119,24 @@ struct OnlineLruFitOptions {
   /// schedule, range overrides). `fit.pool` must stay null: the online
   /// kernel is the serial streaming kernel by construction.
   LruFitOptions fit;
+
+  /// Cooperative cancellation for the ingest loop: polled once per
+  /// absorbed chunk (refresh_interval granularity at worst), so a
+  /// long-running IngestAll over a large trace stops promptly when the
+  /// token fires. The engine stays consistent — absorbed references stay
+  /// absorbed, and the next Ingest after the token is cleared resumes.
+  CancellationToken cancel;
+
+  /// Attempts for the catalog Publish inside a drift-triggered refresh
+  /// when it fails with a transient IoError/Unavailable: 1 (the default)
+  /// publishes exactly once; larger values retry with jittered
+  /// exponential backoff, honoring `cancel` between attempts. A refresh
+  /// whose publish still fails leaves the detector streak intact, so the
+  /// next interval retriggers — retries here just shorten the degraded
+  /// window. Non-transient publish errors never retry.
+  int publish_retry_attempts = 1;
+  std::chrono::nanoseconds publish_retry_initial =
+      std::chrono::milliseconds(1);
 
   Status Validate() const;
 };

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <string>
 
 #include "util/fault.h"
 
@@ -19,12 +20,6 @@ namespace {
 
 constexpr const char* kPageMagic = kPageTraceMagic;
 constexpr char kKeyPageMagic[8] = {'E', 'P', 'K', 'T', 'R', 'C', '0', '1'};
-
-// How many consecutive interrupted reads we tolerate before giving up.
-// Real EINTR storms resolve in a handful of retries; the bound exists so
-// an injected `eintr` schedule (or a pathological signal load) turns into
-// a clean IoError instead of an unbounded spin.
-constexpr int kEintrBudget = 100;
 
 Status WriteHeader(std::ofstream& out, const char* magic, uint64_t count) {
   out.write(magic, 8);
@@ -64,10 +59,12 @@ Status WriteBody(std::ofstream& out, const void* data, size_t len,
 
 class PageTraceReader::Impl {
  public:
-  static Result<std::unique_ptr<Impl>> Open(const std::string& path) {
+  static Result<std::unique_ptr<Impl>> Open(const std::string& path,
+                                            int eintr_retry_budget) {
     EPFIS_RETURN_IF_ERROR(FaultPoint("trace.open"));
     auto impl = std::unique_ptr<Impl>(new Impl);
     impl->path_ = path;
+    impl->eintr_retry_budget_ = std::max(eintr_retry_budget, 1);
 #ifdef EPFIS_TRACE_POSIX_IO
     impl->fd_ = ::open(path.c_str(), O_RDONLY);
     if (impl->fd_ < 0) return Status::IoError("cannot open " + path);
@@ -96,7 +93,14 @@ class PageTraceReader::Impl {
   Result<size_t> ReadFull(void* buffer, size_t len, const char* point) {
     char* out = static_cast<char*>(buffer);
     size_t got = 0;
-    int eintr_budget = kEintrBudget;
+    int eintr_budget = eintr_retry_budget_;
+    auto exhausted = [this, &eintr_budget] {
+      return Status::IoError(
+          "read of " + path_ + " interrupted too many times (" +
+          std::to_string(eintr_retry_budget_ - eintr_budget) +
+          " of " + std::to_string(eintr_retry_budget_) +
+          " retries consumed)");
+    };
     while (got < len) {
       uint64_t want = len - got;
       FaultIoOutcome fault = FaultIoPoint(point, &want);
@@ -104,16 +108,16 @@ class PageTraceReader::Impl {
       if (fault.eintr) {
         // Injected interrupted syscall: consume retry budget without
         // touching the descriptor, exactly like the errno path below.
-        if (--eintr_budget <= 0) {
-          return Status::IoError("read of " + path_ +
-                                 " interrupted too many times");
-        }
+        if (--eintr_budget <= 0) return exhausted();
         continue;
       }
 #ifdef EPFIS_TRACE_POSIX_IO
       ssize_t n = ::read(fd_, out + got, static_cast<size_t>(want));
       if (n < 0) {
-        if (errno == EINTR && --eintr_budget > 0) continue;
+        if (errno == EINTR) {
+          if (--eintr_budget > 0) continue;
+          return exhausted();
+        }
         return Status::IoError("read of " + path_ + " failed");
       }
       if (n == 0) break;  // EOF.
@@ -149,6 +153,7 @@ class PageTraceReader::Impl {
   Impl() = default;
 
   std::string path_;
+  int eintr_retry_budget_ = kDefaultEintrRetryBudget;
 #ifdef EPFIS_TRACE_POSIX_IO
   int fd_ = -1;
 #else
@@ -164,8 +169,10 @@ PageTraceReader& PageTraceReader::operator=(PageTraceReader&&) noexcept =
     default;
 PageTraceReader::~PageTraceReader() = default;
 
-Result<PageTraceReader> PageTraceReader::Open(const std::string& path) {
-  EPFIS_ASSIGN_OR_RETURN(std::unique_ptr<Impl> impl, Impl::Open(path));
+Result<PageTraceReader> PageTraceReader::Open(const std::string& path,
+                                              int eintr_retry_budget) {
+  EPFIS_ASSIGN_OR_RETURN(std::unique_ptr<Impl> impl,
+                         Impl::Open(path, eintr_retry_budget));
   char header[kPageTraceHeaderSize];
   EPFIS_ASSIGN_OR_RETURN(
       size_t got, impl->ReadFull(header, sizeof(header), "trace.read.header"));

@@ -31,6 +31,14 @@ inline constexpr char kPageTraceMagic[8] = {'E', 'P', 'F', 'T',
 /// Header size of a SavePageTrace file: magic plus the u64 entry count.
 inline constexpr size_t kPageTraceHeaderSize = 8 + sizeof(uint64_t);
 
+/// Default ceiling on consecutive interrupted reads (EINTR) the reader
+/// retries before failing with IoError. Real EINTR storms resolve in a
+/// handful of retries; the bound exists so an injected `eintr` schedule
+/// (or a pathological signal load) turns into a clean error instead of an
+/// unbounded spin. Overridable per reader via PageTraceReader::Open /
+/// TraceOpenOptions::eintr_retry_budget.
+inline constexpr int kDefaultEintrRetryBudget = 100;
+
 /// Saves a plain data-page trace (what RunLruFit consumes).
 Status SavePageTrace(const std::vector<PageId>& trace,
                      const std::string& path);
@@ -50,7 +58,12 @@ Result<std::vector<PageId>> LoadPageTrace(const std::string& path);
 /// `trace.read.body` fault-injection points (util/fault.h).
 class PageTraceReader {
  public:
-  static Result<PageTraceReader> Open(const std::string& path);
+  /// `eintr_retry_budget` bounds consecutive interrupted reads before the
+  /// reader gives up with IoError (clamped to >= 1); the failure Status
+  /// reports how many retries were consumed.
+  static Result<PageTraceReader> Open(
+      const std::string& path,
+      int eintr_retry_budget = kDefaultEintrRetryBudget);
 
   PageTraceReader(PageTraceReader&&) noexcept;
   PageTraceReader& operator=(PageTraceReader&&) noexcept;

@@ -7,6 +7,7 @@
 
 #include "epfis/uring_trace_source.h"
 #include "obs/metrics.h"
+#include "util/cancel.h"
 #include "util/fault.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -46,14 +47,24 @@ Result<size_t> VectorTraceSource::Next(PageId* buffer, size_t capacity) {
 }
 
 Result<FileTraceSource> FileTraceSource::Open(const std::string& path) {
-  EPFIS_ASSIGN_OR_RETURN(PageTraceReader reader, PageTraceReader::Open(path));
+  return Open(path, TraceOpenOptions{});
+}
+
+Result<FileTraceSource> FileTraceSource::Open(const std::string& path,
+                                              const TraceOpenOptions& options) {
+  EPFIS_ASSIGN_OR_RETURN(
+      PageTraceReader reader,
+      PageTraceReader::Open(path, options.eintr_retry_budget));
   static Counter file_opens =
       MetricsRegistry::Global().GetCounter("trace.file_opens");
   file_opens.Increment();
-  return FileTraceSource(std::move(reader));
+  FileTraceSource source(std::move(reader));
+  source.cancel_ = options.cancel;
+  return source;
 }
 
 Result<size_t> FileTraceSource::Next(PageId* buffer, size_t capacity) {
+  EPFIS_RETURN_IF_ERROR(CheckCancel(cancel_, Deadline(), "trace read"));
   return reader_.Read(buffer, capacity);
 }
 
@@ -163,7 +174,8 @@ MmapTraceSource::MmapTraceSource(MmapTraceSource&& other) noexcept
       map_len_(std::exchange(other.map_len_, 0)),
       entries_(std::exchange(other.entries_, nullptr)),
       count_(std::exchange(other.count_, 0)),
-      pos_(std::exchange(other.pos_, 0)) {}
+      pos_(std::exchange(other.pos_, 0)),
+      cancel_(std::move(other.cancel_)) {}
 
 MmapTraceSource& MmapTraceSource::operator=(MmapTraceSource&& other) noexcept {
   if (this != &other) {
@@ -175,11 +187,20 @@ MmapTraceSource& MmapTraceSource::operator=(MmapTraceSource&& other) noexcept {
     entries_ = std::exchange(other.entries_, nullptr);
     count_ = std::exchange(other.count_, 0);
     pos_ = std::exchange(other.pos_, 0);
+    cancel_ = std::move(other.cancel_);
   }
   return *this;
 }
 
+Result<MmapTraceSource> MmapTraceSource::Open(const std::string& path,
+                                              const TraceOpenOptions& options) {
+  EPFIS_ASSIGN_OR_RETURN(MmapTraceSource source, Open(path));
+  source.cancel_ = options.cancel;
+  return source;
+}
+
 Result<size_t> MmapTraceSource::Next(PageId* buffer, size_t capacity) {
+  EPFIS_RETURN_IF_ERROR(CheckCancel(cancel_, Deadline(), "trace read"));
   size_t n = static_cast<size_t>(
       std::min<uint64_t>(capacity, count_ - pos_));
   if (n > 0) {
@@ -210,7 +231,7 @@ Result<std::unique_ptr<TraceSource>> OpenTraceSource(
       }
     }
     if (try_uring) {
-      Result<UringTraceSource> source = UringTraceSource::Open(path);
+      Result<UringTraceSource> source = UringTraceSource::Open(path, options);
       if (source.ok()) {
         return std::unique_ptr<TraceSource>(
             new UringTraceSource(std::move(*source)));
@@ -222,7 +243,7 @@ Result<std::unique_ptr<TraceSource>> OpenTraceSource(
     }
   }
   if (MmapTraceSource::Supported()) {
-    Result<MmapTraceSource> source = MmapTraceSource::Open(path);
+    Result<MmapTraceSource> source = MmapTraceSource::Open(path, options);
     if (source.ok()) {
       return std::unique_ptr<TraceSource>(
           new MmapTraceSource(std::move(*source)));
@@ -238,7 +259,29 @@ Result<std::unique_ptr<TraceSource>> OpenTraceSource(
   } else {
     fallbacks.Increment();
   }
-  EPFIS_ASSIGN_OR_RETURN(FileTraceSource source, FileTraceSource::Open(path));
+  // Last resort is the streaming reader; a transient IoError here (NFS
+  // hiccup, descriptor pressure) optionally retries with jittered
+  // backoff — corruption and cancellation never do.
+  auto open_streaming = [&]() -> Result<FileTraceSource> {
+    if (options.open_retry_attempts <= 1) {
+      return FileTraceSource::Open(path, options);
+    }
+    std::optional<Result<FileTraceSource>> last;
+    BackoffOptions backoff;
+    backoff.max_attempts = options.open_retry_attempts;
+    backoff.initial = options.open_retry_initial;
+    backoff.cancel = options.cancel;
+    Status st = RetryWithBackoff(
+        backoff,
+        [&]() -> Status {
+          last.emplace(FileTraceSource::Open(path, options));
+          return last->ok() ? Status::Ok() : last->status();
+        },
+        "trace open");
+    if (st.ok()) return std::move(*last);
+    return st;
+  };
+  EPFIS_ASSIGN_OR_RETURN(FileTraceSource source, open_streaming());
   return std::unique_ptr<TraceSource>(new FileTraceSource(std::move(source)));
 }
 

@@ -1,6 +1,7 @@
 #ifndef EPFIS_EPFIS_TRACE_SOURCE_H_
 #define EPFIS_EPFIS_TRACE_SOURCE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -9,9 +10,12 @@
 
 #include "epfis/trace_io.h"
 #include "storage/page.h"
+#include "util/cancel.h"
 #include "util/result.h"
 
 namespace epfis {
+
+class Watchdog;
 
 /// Pull-based producer of an index reference string.
 ///
@@ -78,11 +82,56 @@ class VectorTraceSource final : public TraceSource {
   size_t pos_ = 0;
 };
 
+/// Knobs for OpenTraceSource's access-path autodetection, plus the
+/// robustness controls shared by every file-backed source.
+struct TraceOpenOptions {
+  /// Files at least this large try O_DIRECT/io_uring ingestion first
+  /// (UringTraceSource). The default keeps everything on mmap: page-cache
+  /// reads win whenever the trace fits in (or is already in) memory, and
+  /// O_DIRECT's advantage — streaming a cold trace without evicting the
+  /// simulator's working set — only materializes on traces big enough to
+  /// fight the cache for residency. Lower it (or set force_uring) to
+  /// route smaller files through the ring.
+  uint64_t uring_min_bytes = uint64_t{4} << 30;
+
+  /// Try UringTraceSource regardless of size (benchmarks, fallback
+  /// drills). Unavailability still falls back; corruption still fails.
+  bool force_uring = false;
+
+  /// Cooperative cancellation for the source's read loop: every Next
+  /// polls the token first and returns Status::Cancelled once it fires,
+  /// so a consumer never sits in a stuck read. The default null token
+  /// costs one branch per Next.
+  CancellationToken cancel;
+
+  /// Consecutive interrupted reads (EINTR) tolerated per ReadFull before
+  /// the streaming reader fails with IoError; see
+  /// PageTraceReader::Open. Clamped to >= 1.
+  int eintr_retry_budget = kDefaultEintrRetryBudget;
+
+  /// Attempts for the open itself when it fails with a transient IoError
+  /// (NFS hiccup, descriptor pressure): 1 (the default) opens exactly
+  /// once; larger values retry with jittered exponential backoff from
+  /// `open_retry_initial`, honoring `cancel` between attempts.
+  /// Corruption never retries — the file is bad, not the path to it.
+  int open_retry_attempts = 1;
+  std::chrono::nanoseconds open_retry_initial = std::chrono::milliseconds(1);
+
+  /// When set, the io_uring source registers a heartbeat with this
+  /// watchdog and beats once per block drained; a drain silent past
+  /// `watchdog_budget` trips a Child() of `cancel` and the next Next
+  /// returns Cancelled instead of waiting forever on a wedged ring.
+  Watchdog* watchdog = nullptr;
+  std::chrono::nanoseconds watchdog_budget = std::chrono::seconds(30);
+};
+
 /// TraceSource over a SavePageTrace file, read in chunks through
 /// PageTraceReader — the whole trace is never resident. Move-only.
 class FileTraceSource final : public TraceSource {
  public:
   static Result<FileTraceSource> Open(const std::string& path);
+  static Result<FileTraceSource> Open(const std::string& path,
+                                      const TraceOpenOptions& options);
 
   FileTraceSource(FileTraceSource&&) = default;
   FileTraceSource& operator=(FileTraceSource&&) = default;
@@ -98,6 +147,7 @@ class FileTraceSource final : public TraceSource {
       : reader_(std::move(reader)) {}
 
   PageTraceReader reader_;
+  CancellationToken cancel_;
 };
 
 /// TraceSource over a SavePageTrace file mapped read-only into the address
@@ -120,6 +170,8 @@ class FileTraceSource final : public TraceSource {
 class MmapTraceSource final : public TraceSource {
  public:
   static Result<MmapTraceSource> Open(const std::string& path);
+  static Result<MmapTraceSource> Open(const std::string& path,
+                                      const TraceOpenOptions& options);
 
   /// Whether this build can mmap at all.
   static bool Supported();
@@ -149,22 +201,7 @@ class MmapTraceSource final : public TraceSource {
   const PageId* entries_ = nullptr;
   uint64_t count_ = 0;
   uint64_t pos_ = 0;
-};
-
-/// Knobs for OpenTraceSource's access-path autodetection.
-struct TraceOpenOptions {
-  /// Files at least this large try O_DIRECT/io_uring ingestion first
-  /// (UringTraceSource). The default keeps everything on mmap: page-cache
-  /// reads win whenever the trace fits in (or is already in) memory, and
-  /// O_DIRECT's advantage — streaming a cold trace without evicting the
-  /// simulator's working set — only materializes on traces big enough to
-  /// fight the cache for residency. Lower it (or set force_uring) to
-  /// route smaller files through the ring.
-  uint64_t uring_min_bytes = uint64_t{4} << 30;
-
-  /// Try UringTraceSource regardless of size (benchmarks, fallback
-  /// drills). Unavailability still falls back; corruption still fails.
-  bool force_uring = false;
+  CancellationToken cancel_;
 };
 
 /// Opens the fastest available TraceSource for a SavePageTrace file:

@@ -9,7 +9,9 @@
 
 #include "epfis/trace_io.h"
 #include "obs/metrics.h"
+#include "util/cancel.h"
 #include "util/fault.h"
+#include "util/watchdog.h"
 
 #ifndef EPFIS_URING_ENABLED
 #define EPFIS_URING_ENABLED 1
@@ -162,6 +164,11 @@ struct UringTraceSource::Ring {
   unsigned in_flight = 0;
   uint64_t pos = 0;  // Next entry index to hand out.
   Status failed;     // Sticky I/O failure; Next keeps returning it.
+  // Cooperative cancellation, polled between blocking ring waits; the
+  // optional heartbeat marks drain progress for an external watchdog
+  // (which fires `cancel` when a drain goes silent past its budget).
+  CancellationToken cancel;
+  std::shared_ptr<Watchdog::Heartbeat> heartbeat;
   // Destructor drain: reads that come back short or failed are marked
   // done instead of resubmitted — the buffers are about to be freed and
   // every request must leave the kernel first.
@@ -279,11 +286,16 @@ struct UringTraceSource::Ring {
     return Status::Ok();
   }
 
-  // Blocks until `block` is fully read into its slot.
+  // Blocks until `block` is fully read into its slot. Polls the token
+  // between ring waits and beats the drain heartbeat on every completion,
+  // so a fired token (including one fired by a watchdog that saw the
+  // drain stall) ends the wait at the next completion boundary.
   Status WaitForBlock(uint64_t block) {
     unsigned slot = static_cast<unsigned>(block % kQueueDepth);
     while (!(slots[slot].block == block && slots[slot].ready)) {
+      EPFIS_RETURN_IF_ERROR(CheckCancel(cancel, Deadline(), "uring drain"));
       EPFIS_RETURN_IF_ERROR(ReapOne(/*wait=*/true));
+      if (heartbeat != nullptr) heartbeat->Beat();
     }
     return Status::Ok();
   }
@@ -319,6 +331,11 @@ bool UringTraceSource::Supported() {
 }
 
 Result<UringTraceSource> UringTraceSource::Open(const std::string& path) {
+  return Open(path, TraceOpenOptions{});
+}
+
+Result<UringTraceSource> UringTraceSource::Open(
+    const std::string& path, const TraceOpenOptions& options) {
   uint64_t count = 0;
   uint64_t file_size = 0;
   EPFIS_RETURN_IF_ERROR(ValidateTraceGeometry(path, &count, &file_size));
@@ -334,6 +351,14 @@ Result<UringTraceSource> UringTraceSource::Open(const std::string& path) {
   ring->count = count;
   ring->file_size = file_size;
   ring->num_blocks = (file_size + kBlockSize - 1) / kBlockSize;
+  // When a watchdog supervises the drain, cancel through a child token so
+  // a tripped heartbeat fires only this source, never the caller's token.
+  ring->cancel =
+      options.watchdog != nullptr ? options.cancel.Child() : options.cancel;
+  if (options.watchdog != nullptr) {
+    ring->heartbeat = options.watchdog->Watch(
+        "trace.uring.drain", options.watchdog_budget, ring->cancel);
+  }
 
   struct io_uring_params params;
   std::memset(&params, 0, sizeof(params));
@@ -429,6 +454,9 @@ Result<UringTraceSource> UringTraceSource::Open(const std::string& path) {
 Result<size_t> UringTraceSource::Next(PageId* buffer, size_t capacity) {
   Ring& r = *ring_;
   if (!r.failed.ok()) return r.failed;
+  // Not sticky: Cancelled here leaves `failed` clear so a Reset after the
+  // token is replaced can reuse the ring.
+  EPFIS_RETURN_IF_ERROR(CheckCancel(r.cancel, Deadline(), "trace read"));
   size_t out = 0;
   while (out < capacity && r.pos < r.count) {
     uint64_t byte = kPageTraceHeaderSize + r.pos * sizeof(PageId);
@@ -498,6 +526,11 @@ struct UringTraceSource::Ring {
 bool UringTraceSource::Supported() { return false; }
 
 Result<UringTraceSource> UringTraceSource::Open(const std::string& path) {
+  return Open(path, TraceOpenOptions{});
+}
+
+Result<UringTraceSource> UringTraceSource::Open(const std::string& path,
+                                                const TraceOpenOptions&) {
   uint64_t count = 0;
   uint64_t file_size = 0;
   EPFIS_RETURN_IF_ERROR(ValidateTraceGeometry(path, &count, &file_size));

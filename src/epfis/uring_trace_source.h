@@ -38,6 +38,13 @@ class UringTraceSource final : public TraceSource {
  public:
   static Result<UringTraceSource> Open(const std::string& path);
 
+  /// Options-aware open: honors TraceOpenOptions::cancel (polled between
+  /// ring waits, so a fired token ends a drain instead of blocking on the
+  /// kernel) and registers a drain heartbeat with
+  /// TraceOpenOptions::watchdog when one is supplied.
+  static Result<UringTraceSource> Open(const std::string& path,
+                                       const TraceOpenOptions& options);
+
   /// Whether this build compiled the implementation in AND the running
   /// kernel accepts io_uring_setup (probed once, cached). False means
   /// Open can only fail; OpenTraceSource skips straight to mmap.

@@ -16,6 +16,8 @@ std::atomic<uint64_t> g_huge_allocs{0};
 std::atomic<uint64_t> g_huge_bytes{0};
 std::atomic<uint64_t> g_advice_failures{0};
 std::atomic<uint64_t> g_fallback_allocs{0};
+std::atomic<uint64_t> g_unaligned_allocs{0};
+std::atomic<int> g_aligned_map_failures{0};
 
 constexpr size_t kCacheLine = 64;
 
@@ -40,6 +42,10 @@ size_t RoundUpToHuge(size_t bytes) {
 // ends on 2MB boundaries — the shape khugepaged (and MADV_HUGEPAGE
 // faults) can back with hugepages end to end.
 void* MapAligned(size_t len) {
+  if (g_aligned_map_failures.load(std::memory_order_relaxed) > 0) {
+    g_aligned_map_failures.fetch_sub(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   size_t over = len + kHuge;
   void* raw = ::mmap(nullptr, over, PROT_READ | PROT_WRITE,
                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
@@ -79,7 +85,12 @@ HugePageArena::Stats HugePageArena::stats() noexcept {
   s.huge_bytes = g_huge_bytes.load(std::memory_order_relaxed);
   s.advice_failures = g_advice_failures.load(std::memory_order_relaxed);
   s.fallback_allocs = g_fallback_allocs.load(std::memory_order_relaxed);
+  s.unaligned_allocs = g_unaligned_allocs.load(std::memory_order_relaxed);
   return s;
+}
+
+void HugePageArena::set_aligned_map_failures_for_testing(int n) noexcept {
+  g_aligned_map_failures.store(n < 0 ? 0 : n, std::memory_order_relaxed);
 }
 
 void* HugePageArena::Alloc(size_t bytes) {
@@ -109,6 +120,7 @@ void* HugePageArena::Alloc(size_t bytes) {
     if (p != MAP_FAILED) {
       g_huge_allocs.fetch_add(1, std::memory_order_relaxed);
       g_huge_bytes.fetch_add(len, std::memory_order_relaxed);
+      g_unaligned_allocs.fetch_add(1, std::memory_order_relaxed);
       return p;
     }
     throw std::bad_alloc();

@@ -66,8 +66,15 @@ class HugePageArena {
     uint64_t huge_bytes = 0;      ///< Bytes reserved by the mmap path.
     uint64_t advice_failures = 0; ///< madvise(MADV_HUGEPAGE) rejections.
     uint64_t fallback_allocs = 0; ///< Large requests that fell back to new.
+    uint64_t unaligned_allocs = 0; ///< Aligned reservation failed; plain mmap.
   };
   static Stats stats() noexcept;
+
+  /// Test hook: the next `n` aligned reservations behave as if mmap
+  /// failed (address-space or mapping-count exhaustion), driving Alloc
+  /// onto the plain-mapping fallback without actually exhausting the
+  /// process. 0 clears any pending injected failures.
+  static void set_aligned_map_failures_for_testing(int n) noexcept;
 };
 
 /// Minimal std-compatible allocator routing through HugePageArena, so the

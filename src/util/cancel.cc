@@ -1,0 +1,133 @@
+#include "util/cancel.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/random.h"
+
+namespace epfis {
+
+struct CancellationToken::State {
+  std::atomic<bool> fired{false};
+  std::shared_ptr<State> parent;  // null for a root token
+};
+
+CancellationToken CancellationToken::Create() {
+  return CancellationToken(std::make_shared<State>());
+}
+
+CancellationToken CancellationToken::Child() const {
+  auto child = std::make_shared<State>();
+  child->parent = state_;
+  return CancellationToken(std::move(child));
+}
+
+bool CancellationToken::cancelled() const {
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->fired.load(std::memory_order_relaxed)) return true;
+  }
+  return false;
+}
+
+void CancellationToken::Cancel() const {
+  if (!state_) return;
+  if (!state_->fired.exchange(true, std::memory_order_relaxed)) {
+    static Counter fired = MetricsRegistry::Global().GetCounter("cancel.fired");
+    fired.Increment();
+  }
+}
+
+Deadline Deadline::After(std::chrono::nanoseconds d) {
+  Deadline dl;
+  int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+  if (d.count() >= kInfiniteNs - now) return dl;  // saturate to infinite
+  dl.ns_ = now + std::max<int64_t>(d.count(), 0);
+  return dl;
+}
+
+bool Deadline::expired() const {
+  if (infinite()) return false;
+  int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+  return now >= ns_;
+}
+
+std::chrono::nanoseconds Deadline::remaining() const {
+  if (infinite()) return std::chrono::nanoseconds(kInfiniteNs);
+  int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+  return std::chrono::nanoseconds(std::max<int64_t>(ns_ - now, 0));
+}
+
+Status CheckCancel(const CancellationToken& token, const Deadline& deadline,
+                   const char* what) {
+  if (token.cancelled()) {
+    return Status::Cancelled(std::string(what) + " cancelled");
+  }
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded(std::string(what) + " deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+bool IsTransient(const Status& st) {
+  return st.code() == StatusCode::kIoError ||
+         st.code() == StatusCode::kUnavailable;
+}
+
+// Sleeps up to `delay` in short slices so a token fire or deadline expiry
+// is noticed within ~1ms rather than after the full backoff.
+Status SlicedSleep(std::chrono::nanoseconds delay,
+                   const CancellationToken& token, const Deadline& deadline,
+                   const char* what) {
+  constexpr auto kSlice = std::chrono::milliseconds(1);
+  auto left = delay;
+  while (left.count() > 0) {
+    EPFIS_RETURN_IF_ERROR(CheckCancel(token, deadline, what));
+    auto step = std::min<std::chrono::nanoseconds>(left, kSlice);
+    std::this_thread::sleep_for(step);
+    left -= step;
+  }
+  return CheckCancel(token, deadline, what);
+}
+
+}  // namespace
+
+Status RetryWithBackoff(const BackoffOptions& options,
+                        const std::function<Status()>& fn, const char* what) {
+  static Counter retries =
+      MetricsRegistry::Global().GetCounter("retry.attempts");
+  Rng jitter(options.jitter_seed);
+  const int attempts = std::max(options.max_attempts, 1);
+  std::chrono::nanoseconds delay =
+      std::max(options.initial, std::chrono::nanoseconds(0));
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    EPFIS_RETURN_IF_ERROR(CheckCancel(options.cancel, options.deadline, what));
+    last = fn();
+    if (last.ok() || !IsTransient(last)) return last;
+    if (attempt + 1 >= attempts) break;
+    retries.Increment();
+    // Jitter in [0.5, 1.0) of the nominal delay keeps retries from
+    // synchronizing while staying deterministic for a fixed seed.
+    auto jittered = std::chrono::nanoseconds(static_cast<int64_t>(
+        static_cast<double>(delay.count()) * (0.5 + 0.5 * jitter.NextDouble())));
+    EPFIS_RETURN_IF_ERROR(SlicedSleep(jittered, options.cancel,
+                                      options.deadline, what));
+    double next = static_cast<double>(delay.count()) *
+                  std::max(options.multiplier, 1.0);
+    double cap = static_cast<double>(options.max_delay.count());
+    delay = std::chrono::nanoseconds(
+        static_cast<int64_t>(std::min(next, cap)));
+  }
+  return last;
+}
+
+}  // namespace epfis

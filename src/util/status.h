@@ -20,6 +20,9 @@ enum class StatusCode {
   kIoError,
   kCorruption,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -69,6 +72,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

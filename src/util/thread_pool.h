@@ -3,15 +3,18 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/cancel.h"
 
 namespace epfis {
 
@@ -20,20 +23,44 @@ namespace epfis {
 ///
 /// Tasks are arbitrary callables; Submit returns a std::future carrying the
 /// task's result. Exceptions thrown by a task are captured in its future
-/// (std::packaged_task semantics) and rethrown from future::get(), so a
-/// worker thread never dies from a task failure.
+/// and rethrown from future::get(), so a worker thread never dies from a
+/// task failure.
 ///
-/// The destructor drains the queue — every task submitted before
-/// destruction runs to completion — then joins the workers. Submitting
-/// from within a task is allowed; submitting after destruction has begun
-/// is a programming error.
+/// Queue bounding (overload protection): with Options::max_queue > 0 the
+/// pending queue is bounded and Options::overflow picks the backpressure
+/// policy when a Submit finds it full:
+///   kBlock      — the submitting thread waits for a slot (flow control
+///                 toward the producer; the default).
+///   kReject     — the new task never runs; its future throws
+///                 PoolRejectedError (drain sites map it to kUnavailable).
+///                 Submit itself still returns normally.
+///   kShedOldest — the oldest *queued* (unstarted) task is displaced and
+///                 its future throws PoolRejectedError; the new task takes
+///                 its slot. Freshest-work-wins, for serving paths.
+/// max_queue == 0 keeps the historical unbounded queue.
+///
+/// Shutdown: with drain_on_shutdown (default) the destructor drains the
+/// queue — every task submitted before destruction runs to completion —
+/// then joins the workers. With drain_on_shutdown = false, queued-but-
+/// unstarted tasks are abandoned: their futures throw TaskCancelledError
+/// and the destructor returns as soon as in-flight tasks finish.
+/// Submitting after destruction has begun is a programming error; such
+/// tasks are abandoned as cancelled rather than lost.
 ///
 /// Do not block a pool task on the future of another task submitted to the
 /// same pool: with all workers blocked waiting, the dependency can never be
 /// scheduled (classic nested-parallelism deadlock). RunLruFitBatch forces
-/// per-trace computation serial for exactly this reason.
+/// per-trace computation serial for exactly this reason. The same applies
+/// to Overflow::kBlock from within a pool task — a full queue would wait
+/// on the workers that are doing the waiting.
 class ThreadPool {
  public:
+  enum class Overflow {
+    kBlock = 0,
+    kReject,
+    kShedOldest,
+  };
+
   struct Options {
     /// Pin worker i to NumaTopology::Get().CpuForWorker(i) — round-robin
     /// across NUMA nodes, then across the CPUs within each node. Shard
@@ -44,6 +71,16 @@ class ThreadPool {
     /// without it, restrictive cgroup cpuset) leaves the worker unpinned
     /// and is counted in pinned_workers(), never an error.
     bool pin_workers = false;
+
+    /// Maximum queued (unstarted) tasks; 0 means unbounded.
+    size_t max_queue = 0;
+
+    /// What Submit does when the bounded queue is full.
+    Overflow overflow = Overflow::kBlock;
+
+    /// Destructor policy: true runs every queued task to completion;
+    /// false abandons unstarted tasks (futures throw TaskCancelledError).
+    bool drain_on_shutdown = true;
   };
 
   /// Spawns `num_threads` workers (clamped to >= 1).
@@ -53,20 +90,42 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Drains pending tasks, then joins all workers.
+  /// Joins all workers; queued tasks drain or are abandoned per
+  /// Options::drain_on_shutdown.
   ~ThreadPool();
 
-  /// Schedules `f` and returns a future for its result.
+  /// Schedules `f` and returns a future for its result. Never throws for
+  /// queue reasons: a rejected or shed task reports through its future.
   template <typename F>
   auto Submit(F f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
-    std::future<R> result = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      queue_.push([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    auto promise = std::make_shared<std::promise<R>>();
+    std::future<R> result = promise->get_future();
+    auto fn = std::make_shared<F>(std::move(f));
+    Item item;
+    item.run = [promise, fn] {
+      try {
+        if constexpr (std::is_void_v<R>) {
+          (*fn)();
+          promise->set_value();
+        } else {
+          promise->set_value((*fn)());
+        }
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
+    };
+    item.abandon = [promise](bool rejected) {
+      try {
+        if (rejected) {
+          throw PoolRejectedError("task shed: thread pool queue full");
+        }
+        throw TaskCancelledError("task cancelled before it started");
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
+    };
+    Enqueue(std::move(item));
     return result;
   }
 
@@ -79,18 +138,37 @@ class ThreadPool {
     return pinned_workers_.load(std::memory_order_relaxed);
   }
 
+  /// Tasks whose future resolved to PoolRejectedError (kReject submissions
+  /// plus kShedOldest displacements) on this pool.
+  uint64_t rejected_tasks() const {
+    return rejected_tasks_.load(std::memory_order_relaxed);
+  }
+
+  /// Currently queued (unstarted) tasks; advisory, races with workers.
+  size_t queue_depth() const;
+
   /// Hardware concurrency, never less than 1.
   static size_t DefaultThreadCount();
 
  private:
+  struct Item {
+    std::function<void()> run;
+    /// Resolves the task's future without running it; `rejected` picks
+    /// PoolRejectedError over TaskCancelledError.
+    std::function<void(bool rejected)> abandon;
+  };
+
+  void Enqueue(Item item);
   void WorkerLoop(size_t worker_index);
 
   const Options options_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;  // Guarded by mu_.
-  bool stopping_ = false;                    // Guarded by mu_.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // workers wait for tasks
+  std::condition_variable space_cv_;  // kBlock submitters wait for a slot
+  std::deque<Item> queue_;            // Guarded by mu_.
+  bool stopping_ = false;             // Guarded by mu_.
   std::atomic<size_t> pinned_workers_{0};
+  std::atomic<uint64_t> rejected_tasks_{0};
   std::vector<std::thread> workers_;
 };
 

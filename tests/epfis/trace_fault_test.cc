@@ -158,6 +158,90 @@ TEST_F(TraceFaultTest, CorruptionStillPropagatesThroughOpenTraceSource) {
   EXPECT_EQ(OpenTraceSource(path_).status().code(), StatusCode::kCorruption);
 }
 
+// The configurable-budget satellite: the EINTR tolerance is a per-open
+// knob, and the exhaustion error accounts for the retries it consumed.
+TEST_F(TraceFaultTest, EintrRetryBudgetIsConfigurablePerOpen) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kEintr;  // Every call, forever.
+  FaultInjector::Global().Arm("trace.read.body", spec);
+
+  auto reader = PageTraceReader::Open(path_, /*eintr_retry_budget=*/5);
+  ASSERT_TRUE(reader.ok());
+  PageId buf[64];
+  Result<size_t> n = reader->Read(buf, 64);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kIoError);
+  EXPECT_NE(n.status().message().find("5 of 5 retries consumed"),
+            std::string::npos)
+      << n.status().message();
+  EXPECT_LE(FaultInjector::Global().counters("trace.read.body").fires, 10u);
+
+  // A burst under the custom budget is absorbed.
+  FaultSpec burst;
+  burst.kind = FaultKind::kEintr;
+  burst.max_fires = 3;
+  FaultInjector::Global().Arm("trace.read.body", burst);
+  auto tolerant = PageTraceReader::Open(path_, /*eintr_retry_budget=*/5);
+  ASSERT_TRUE(tolerant.ok());
+  EXPECT_EQ(ReadAll(*tolerant), trace_);
+}
+
+TEST_F(TraceFaultTest, TraceOpenOptionsForwardsEintrBudget) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kEintr;
+  FaultInjector::Global().Arm("trace.read.body", spec);
+
+  TraceOpenOptions options;
+  options.eintr_retry_budget = 4;
+  auto source = FileTraceSource::Open(path_, options);
+  ASSERT_TRUE(source.ok());
+  PageId buf[64];
+  Result<size_t> n = source->Next(buf, 64);
+  ASSERT_FALSE(n.ok());
+  EXPECT_NE(n.status().message().find("4 of 4 retries consumed"),
+            std::string::npos)
+      << n.status().message();
+}
+
+// Transient open failures retry with backoff when asked; a single-attempt
+// open (the default) still fails on the first fault.
+TEST_F(TraceFaultTest, OpenRetriesTransientFailuresWhenConfigured) {
+  FaultSpec one_shot;
+  one_shot.max_fires = 1;
+  FaultInjector::Global().Arm("trace.open", one_shot);
+  // mmap must also fail so OpenTraceSource reaches the streaming opener.
+  FaultInjector::Global().Arm("trace.mmap.map", FaultSpec{});
+
+  TraceOpenOptions options;
+  options.open_retry_attempts = 3;
+  options.open_retry_initial = std::chrono::microseconds(50);
+  auto source = OpenTraceSource(path_, options);
+  ASSERT_TRUE(source.ok()) << source.status().message();
+  EXPECT_EQ(FaultInjector::Global().counters("trace.open").fires, 1u);
+}
+
+TEST_F(TraceFaultTest, CancelledTokenStopsEveryTraceSourceRead) {
+  CancellationToken token = CancellationToken::Create();
+  TraceOpenOptions options;
+  options.cancel = token;
+
+  auto file_source = FileTraceSource::Open(path_, options);
+  ASSERT_TRUE(file_source.ok());
+  auto any_source = OpenTraceSource(path_, options);
+  ASSERT_TRUE(any_source.ok());
+
+  PageId buf[64];
+  auto before = file_source->Next(buf, 64);
+  ASSERT_TRUE(before.ok());  // Token not fired yet: reads flow.
+  token.Cancel();
+  Result<size_t> after = file_source->Next(buf, 64);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kCancelled);
+  Result<size_t> mapped = (*any_source)->Next(buf, 64);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kCancelled);
+}
+
 TEST_F(TraceFaultTest, LoadPageTraceSharesHardenedPath) {
   FaultSpec spec;
   spec.kind = FaultKind::kShortRead;

@@ -21,6 +21,7 @@
 #include "epfis/online_lru_fit.h"
 #include "epfis/trace_io.h"
 #include "epfis/trace_source.h"
+#include "util/cancel.h"
 #include "util/fault.h"
 #include "util/thread_pool.h"
 
@@ -78,14 +79,19 @@ class FaultSweepTest : public testing::Test {
 
   // One pass over every instrumented subsystem. Every stage runs
   // regardless of earlier failures, so a single armed point cannot shadow
-  // the reachability of the points behind it.
-  PassResult RunPipeline(const std::string& tag) {
+  // the reachability of the points behind it. The optional token is
+  // threaded into every cancellable option struct — a pass with a null
+  // token (the default) is the pre-existing fault sweep unchanged.
+  PassResult RunPipeline(const std::string& tag,
+                         CancellationToken cancel = {}) {
     PassResult result;
     auto record = [&result](Status s) { result.stages.push_back(s); };
 
     // Catalog save path (open/write/fsync/rename).
     StatsCatalog catalog;
-    auto stats = RunLruFit(trace_, 300, 100, "ix_fixture");
+    LruFitOptions serial_options;
+    serial_options.cancel = cancel;
+    auto stats = RunLruFit(trace_, 300, 100, "ix_fixture", serial_options);
     record(stats.ok() ? Status::Ok() : stats.status());
     if (stats.ok()) catalog.Put(std::move(*stats));
     std::string save_path = dir_ + "/sweep_" + tag + ".cat";
@@ -107,7 +113,9 @@ class FaultSweepTest : public testing::Test {
     record(SavePageTrace(trace_, dir_ + "/sweep_" + tag + ".bin"));
 
     // Streaming trace read path (open/header/body).
-    auto file_source = FileTraceSource::Open(trace_path_);
+    TraceOpenOptions source_options;
+    source_options.cancel = cancel;
+    auto file_source = FileTraceSource::Open(trace_path_, source_options);
     record(file_source.ok() ? Status::Ok() : file_source.status());
     if (file_source.ok()) {
       PageId buf[1024];
@@ -124,7 +132,7 @@ class FaultSweepTest : public testing::Test {
     }
 
     // mmap open + degrade path.
-    auto any_source = OpenTraceSource(trace_path_);
+    auto any_source = OpenTraceSource(trace_path_, source_options);
     record(any_source.ok() ? Status::Ok() : any_source.status());
 
     // io_uring open + degrade path (trace.uring.setup). Forced through
@@ -134,6 +142,7 @@ class FaultSweepTest : public testing::Test {
     // transparently, like trace.mmap.map one rung further down.
     {
       TraceOpenOptions uring_options;
+      uring_options.cancel = cancel;
       uring_options.force_uring = true;
       auto uring_source = OpenTraceSource(trace_path_, uring_options);
       record(uring_source.ok() ? Status::Ok() : uring_source.status());
@@ -143,6 +152,7 @@ class FaultSweepTest : public testing::Test {
     {
       ThreadPool pool(4);
       LruFitOptions options;
+      options.cancel = cancel;
       options.pool = &pool;
       options.num_shards = 6;
       auto sharded = RunLruFit(trace_, 300, 100, "ix_sharded", options);
@@ -158,6 +168,7 @@ class FaultSweepTest : public testing::Test {
         job.trace = std::make_unique<VectorTraceSource>(MakeTrace(4000));
         job.table_pages = 300;
         job.index_name = "ix_batch_" + std::to_string(j);
+        job.options.cancel = cancel;
         jobs.push_back(std::move(job));
       }
       LruFitBatchResult batch = RunLruFitBatch(std::move(jobs), pool,
@@ -177,6 +188,7 @@ class FaultSweepTest : public testing::Test {
       online_options.distinct_keys = 100;
       online_options.window_refs = 20000;
       online_options.refresh_interval = 5000;
+      online_options.cancel = cancel;
       OnlineLruFit engine("ix_online", online_options, &online_catalog);
       record(engine.Ingest(trace_));
     }
@@ -206,7 +218,17 @@ class FaultSweepTest : public testing::Test {
       std::vector<BatchProbe> probes = {
           BatchProbe{snapshot->Resolve("ix_fixture"), scan, shape}};
       std::vector<CatalogEstimate> results(probes.size());
-      record(EstIo::EstimateBatch(*snapshot, probes, results));
+      EstIoOptions est_options;
+      est_options.cancel = cancel;
+      record(EstIo::EstimateBatch(*snapshot, probes, results, est_options));
+      // Per-probe provenance: shed probes carry Cancelled here while the
+      // batch Status above stays Ok. Ok (curve) or NotFound (fallback on
+      // an unpublished snapshot) on uncancelled passes.
+      record(results[0].stats_status.code() == StatusCode::kCancelled ||
+                     results[0].stats_status.code() ==
+                         StatusCode::kDeadlineExceeded
+                 ? results[0].stats_status
+                 : Status::Ok());
     }
     return result;
   }
@@ -300,6 +322,93 @@ TEST_F(FaultSweepTest, ProbabilisticScheduleIsReproducible) {
   };
   EXPECT_EQ(run(7), run(7));
   EXPECT_FALSE(HasTmpLeak());
+}
+
+// The cancellation sweep: at every injection point, fire a cancel token
+// (FaultKind::kCancel lets the faulted call itself proceed) and run the
+// pipeline with that same token threaded through every option struct.
+// Cancellation must surface only through the Status taxonomy — every
+// failed stage reads Cancelled or DeadlineExceeded, nothing crashes or
+// hangs, no tmp file leaks, and a pass with a fresh token is healthy.
+TEST_F(FaultSweepTest, CancellationAtEveryPointSurfacesCleanly) {
+  int swept = 0;
+  for (const char* point : kAllFaultPoints) {
+    SCOPED_TRACE(point);
+    FaultInjector::Global().DisarmAll();
+    CancellationToken token = CancellationToken::Create();
+    FaultSpec spec;
+    spec.kind = FaultKind::kCancel;
+    spec.cancel_token = token;
+    spec.max_fires = 1;
+    FaultInjector::Global().Arm(point, spec);
+    uint64_t fires_before = FaultInjector::Global().counters(point).fires;
+
+    PassResult pass = RunPipeline(std::string("cancel_") + point, token);
+
+    EXPECT_EQ(FaultInjector::Global().counters(point).fires,
+              fires_before + 1)
+        << "armed point never fired — injection not reachable";
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_FALSE(HasTmpLeak()) << "tmp file leaked under cancellation";
+    int cancelled_stages = 0;
+    for (size_t i = 0; i < pass.stages.size(); ++i) {
+      const Status& s = pass.stages[i];
+      if (s.ok()) continue;
+      EXPECT_TRUE(s.code() == StatusCode::kCancelled ||
+                  s.code() == StatusCode::kDeadlineExceeded)
+          << "stage " << i << " failed with a non-cancellation code: "
+          << s.message();
+      ++cancelled_stages;
+    }
+    // Every point fires before the final batch-estimate stage, whose
+    // per-probe shed provenance observes the token even when every
+    // earlier stage had already passed its last poll.
+    EXPECT_GT(cancelled_stages, 0)
+        << "cancellation vanished without stopping anything";
+
+    // A fresh pass with a null token is fully healthy: cancellation is
+    // per-run state, never sticky process state.
+    FaultInjector::Global().DisarmAll();
+    PassResult recovered = RunPipeline(std::string("post_") + point);
+    EXPECT_TRUE(recovered.all_ok()) << "pipeline did not recover";
+    EXPECT_FALSE(HasTmpLeak());
+    ++swept;
+  }
+  EXPECT_GE(swept, 12);
+}
+
+// The serving invariant under a failed publish: readers keep the previous
+// snapshot generation, bit-for-bit, until a publish actually succeeds.
+TEST_F(FaultSweepTest, FailedPublishKeepsServingPreviousSnapshot) {
+  StatsCatalog catalog;
+  auto first = RunLruFit(trace_, 300, 100, "ix_first");
+  ASSERT_TRUE(first.ok());
+  catalog.Put(std::move(*first));
+  ASSERT_TRUE(catalog.Publish().ok());
+  std::shared_ptr<const CatalogSnapshot> before = catalog.snapshot();
+  ASSERT_TRUE(before->Resolve("ix_first").valid());
+
+  auto second = RunLruFit(trace_, 300, 100, "ix_second");
+  ASSERT_TRUE(second.ok());
+  catalog.Put(std::move(*second));
+
+  FaultSpec spec;
+  spec.max_fires = 1;
+  FaultInjector::Global().Arm("catalog.publish.swap", spec);
+  EXPECT_FALSE(catalog.Publish().ok());
+
+  // Readers still get the exact pre-failure snapshot object.
+  std::shared_ptr<const CatalogSnapshot> after = catalog.snapshot();
+  EXPECT_EQ(after.get(), before.get());
+  EXPECT_TRUE(after->Resolve("ix_first").valid());
+  EXPECT_FALSE(after->Resolve("ix_second").valid());
+
+  // The next clean publish swaps in both entries.
+  FaultInjector::Global().DisarmAll();
+  ASSERT_TRUE(catalog.Publish().ok());
+  std::shared_ptr<const CatalogSnapshot> healed = catalog.snapshot();
+  EXPECT_TRUE(healed->Resolve("ix_first").valid());
+  EXPECT_TRUE(healed->Resolve("ix_second").valid());
 }
 
 }  // namespace

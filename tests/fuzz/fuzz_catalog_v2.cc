@@ -1,0 +1,18 @@
+// Fuzz target: the v2 text catalog parser (plus the format autodetect),
+// through both the strict and the recovering load. Any input must parse
+// or fail through the Status taxonomy — never crash, hang, or trip a
+// sanitizer.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "catalog/stats_catalog.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  epfis::StatsCatalog strict;
+  (void)strict.LoadFromString(text);
+  epfis::StatsCatalog recovering;
+  (void)recovering.RecoverFromString(text);
+  return 0;
+}

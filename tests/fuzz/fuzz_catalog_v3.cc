@@ -1,0 +1,15 @@
+// Fuzz target: the v3 binary catalog decoder, strict and recovering.
+// The decoder consumes attacker-controlled length/offset fields, so this
+// is the highest-value parser to fuzz: every out-of-bounds knot count or
+// overlapping string table must surface as Corruption, not a wild read.
+#include <cstddef>
+#include <cstdint>
+
+#include "catalog/catalog_v3.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const char* bytes = reinterpret_cast<const char*>(data);
+  (void)epfis::CatalogV3::Decode(bytes, size, /*recover=*/false);
+  (void)epfis::CatalogV3::Decode(bytes, size, /*recover=*/true);
+  return 0;
+}

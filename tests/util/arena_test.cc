@@ -70,6 +70,32 @@ TEST(HugePageArenaTest, ToggleOnlyAffectsAdviceNeverSemantics) {
   HugePageArena::set_hugepages_enabled(saved);
 }
 
+TEST(HugePageArenaTest, AlignedMapExhaustionFallsBackToPlainMmap) {
+  if (!HugePageArena::Supported()) {
+    GTEST_SKIP() << "no mmap path on this platform";
+  }
+  HugePageArena::Stats before = HugePageArena::stats();
+  HugePageArena::set_aligned_map_failures_for_testing(1);
+  size_t bytes = HugePageArena::kHugePageSize + 13;
+  void* p = HugePageArena::Alloc(bytes);
+  ASSERT_NE(p, nullptr);  // Degraded, not failed.
+  // The fallback mapping is fully usable and munmap-compatible.
+  std::memset(p, 0xCD, bytes);
+  HugePageArena::Free(p, bytes);
+  HugePageArena::Stats after = HugePageArena::stats();
+  EXPECT_EQ(after.unaligned_allocs, before.unaligned_allocs + 1);
+  EXPECT_EQ(after.huge_allocs, before.huge_allocs + 1);
+
+  // The injected failure is consumed: the next alloc is aligned again.
+  void* q = HugePageArena::Alloc(bytes);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(
+      reinterpret_cast<uintptr_t>(q) % HugePageArena::kHugePageSize, 0u);
+  HugePageArena::Free(q, bytes);
+  EXPECT_EQ(HugePageArena::stats().unaligned_allocs,
+            after.unaligned_allocs);
+}
+
 TEST(HugeAllocatorTest, BacksAVectorThroughGrowthAndShrink) {
   std::vector<uint64_t, HugeAllocator<uint64_t>> v;
   for (uint64_t i = 0; i < 200'000; ++i) v.push_back(i * 3);

@@ -1,0 +1,217 @@
+#include "util/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace epfis {
+namespace {
+
+TEST(CancellationTokenTest, NullTokenNeverCancels) {
+  CancellationToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();  // No-op, not a crash.
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancellationTokenTest, CancelIsSticky) {
+  CancellationToken token = CancellationToken::Create();
+  EXPECT_TRUE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // Idempotent.
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancellationTokenTest, CopiesShareTheFlag) {
+  CancellationToken a = CancellationToken::Create();
+  CancellationToken b = a;
+  b.Cancel();
+  EXPECT_TRUE(a.cancelled());
+}
+
+TEST(CancellationTokenTest, ChildObservesParentNotViceVersa) {
+  CancellationToken parent = CancellationToken::Create();
+  CancellationToken child = parent.Child();
+  CancellationToken grandchild = child.Child();
+
+  child.Cancel();
+  EXPECT_FALSE(parent.cancelled());
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(grandchild.cancelled());
+
+  CancellationToken other_child = parent.Child();
+  EXPECT_FALSE(other_child.cancelled());
+  parent.Cancel();
+  EXPECT_TRUE(other_child.cancelled());
+}
+
+TEST(CancellationTokenTest, ChildOfNullIsARoot) {
+  CancellationToken null_token;
+  CancellationToken child = null_token.Child();
+  EXPECT_TRUE(child.valid());
+  EXPECT_FALSE(child.cancelled());
+  child.Cancel();
+  EXPECT_TRUE(child.cancelled());
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining().count(), int64_t{1} << 60);
+}
+
+TEST(DeadlineTest, ExpiresOnTheSteadyClock) {
+  Deadline d = Deadline::After(std::chrono::nanoseconds(0));
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining().count(), 0);
+
+  Deadline far = Deadline::After(std::chrono::hours(24));
+  EXPECT_FALSE(far.expired());
+  EXPECT_GT(far.remaining().count(), 0);
+}
+
+TEST(DeadlineTest, HugeDurationSaturatesToInfinite) {
+  Deadline d = Deadline::After(std::chrono::nanoseconds(INT64_MAX));
+  EXPECT_TRUE(d.infinite());
+}
+
+TEST(CheckCancelTest, ReportsCancelledAndDeadlineWithContext) {
+  CancellationToken token = CancellationToken::Create();
+  EXPECT_TRUE(CheckCancel(token, Deadline(), "work").ok());
+
+  token.Cancel();
+  Status st = CheckCancel(token, Deadline(), "shard 3");
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_NE(st.message().find("shard 3"), std::string::npos);
+
+  Status dl = CheckCancel(CancellationToken(), Deadline::AfterMillis(0),
+                          "merge");
+  EXPECT_EQ(dl.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(dl.message().find("merge"), std::string::npos);
+}
+
+TEST(CheckCancelTest, TokenWinsOverExpiredDeadline) {
+  CancellationToken token = CancellationToken::Create();
+  token.Cancel();
+  Status st = CheckCancel(token, Deadline::AfterMillis(0), "x");
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+}
+
+TEST(RetryWithBackoffTest, TransientFailuresRetryUntilSuccess) {
+  BackoffOptions options;
+  options.max_attempts = 5;
+  options.initial = std::chrono::microseconds(10);
+  int calls = 0;
+  Status st = RetryWithBackoff(
+      options,
+      [&]() -> Status {
+        ++calls;
+        if (calls < 3) return Status::IoError("flaky");
+        return Status::Ok();
+      },
+      "open");
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryWithBackoffTest, NonTransientFailsImmediately) {
+  BackoffOptions options;
+  options.max_attempts = 5;
+  int calls = 0;
+  Status st = RetryWithBackoff(
+      options,
+      [&]() -> Status {
+        ++calls;
+        return Status::Corruption("bad file");
+      },
+      "open");
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryWithBackoffTest, ExhaustionReturnsLastTransientStatus) {
+  BackoffOptions options;
+  options.max_attempts = 3;
+  options.initial = std::chrono::microseconds(1);
+  int calls = 0;
+  Status st = RetryWithBackoff(
+      options,
+      [&]() -> Status {
+        ++calls;
+        return Status::Unavailable("still down");
+      },
+      "publish");
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryWithBackoffTest, PreCancelledTokenSkipsTheFirstAttempt) {
+  CancellationToken token = CancellationToken::Create();
+  token.Cancel();
+  BackoffOptions options;
+  options.cancel = token;
+  int calls = 0;
+  Status st = RetryWithBackoff(
+      options,
+      [&]() -> Status {
+        ++calls;
+        return Status::Ok();
+      },
+      "open");
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(RetryWithBackoffTest, CancelDuringBackoffSleepInterrupts) {
+  CancellationToken token = CancellationToken::Create();
+  BackoffOptions options;
+  options.max_attempts = 2;
+  options.initial = std::chrono::seconds(30);  // Sliced sleep must not wait.
+  options.cancel = token;
+  std::atomic<bool> started{false};
+  std::thread firer([&] {
+    while (!started.load()) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    token.Cancel();
+  });
+  auto begin = std::chrono::steady_clock::now();
+  Status st = RetryWithBackoff(
+      options,
+      [&]() -> Status {
+        started.store(true);
+        return Status::IoError("transient");
+      },
+      "open");
+  auto elapsed = std::chrono::steady_clock::now() - begin;
+  firer.join();
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+}
+
+TEST(RetryWithBackoffTest, DeadlineBoundsTheWholeRetryLoop) {
+  BackoffOptions options;
+  options.max_attempts = 100;
+  options.initial = std::chrono::milliseconds(5);
+  options.multiplier = 1.0;
+  options.deadline = Deadline::AfterMillis(20);
+  int calls = 0;
+  Status st = RetryWithBackoff(
+      options,
+      [&]() -> Status {
+        ++calls;
+        return Status::IoError("down");
+      },
+      "open");
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(calls, 100);
+}
+
+}  // namespace
+}  // namespace epfis

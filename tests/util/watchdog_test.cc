@@ -1,0 +1,96 @@
+#include "util/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "util/cancel.h"
+
+namespace epfis {
+namespace {
+
+Watchdog::Options FastPoll() {
+  Watchdog::Options options;
+  options.poll_interval = std::chrono::milliseconds(1);
+  return options;
+}
+
+// Spins until `pred` holds or ~5s passes; returns whether it held.
+template <typename Pred>
+bool WaitFor(Pred pred) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+TEST(WatchdogTest, SilentHeartbeatTripsAndFiresToken) {
+  Watchdog watchdog(FastPoll());
+  CancellationToken token = CancellationToken::Create();
+  auto hb = watchdog.Watch("stuck.worker", std::chrono::milliseconds(5),
+                           token);
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(hb->name(), "stuck.worker");
+  // Never beat: the monitor must fire the token within a few polls.
+  EXPECT_TRUE(WaitFor([&] { return token.cancelled(); }));
+  EXPECT_TRUE(hb->tripped());
+  EXPECT_GE(watchdog.trips(), 1u);
+}
+
+TEST(WatchdogTest, BeatingKeepsTheActivityAlive) {
+  Watchdog watchdog(FastPoll());
+  CancellationToken token = CancellationToken::Create();
+  auto hb = watchdog.Watch("live.worker", std::chrono::milliseconds(50),
+                           token);
+  for (int i = 0; i < 20; ++i) {
+    hb->Beat();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_FALSE(hb->tripped());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(WatchdogTest, DroppedHandleDeregistersWithoutTripping) {
+  Watchdog watchdog(FastPoll());
+  CancellationToken token = CancellationToken::Create();
+  {
+    auto hb = watchdog.Watch("done.worker", std::chrono::milliseconds(5),
+                             token);
+    hb->Beat();
+  }  // Handle dropped: the weak registration self-cleans.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(watchdog.trips(), 0u);
+}
+
+TEST(WatchdogTest, HandleOutlivesTheWatchdog) {
+  CancellationToken token = CancellationToken::Create();
+  std::shared_ptr<Watchdog::Heartbeat> hb;
+  {
+    Watchdog watchdog(FastPoll());
+    hb = watchdog.Watch("outliving.worker", std::chrono::hours(1), token);
+  }  // Monitor joined; the handle must stay safe to use.
+  hb->Beat();
+  EXPECT_FALSE(hb->tripped());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(WatchdogTest, TripsAreCountedPerHeartbeat) {
+  Watchdog watchdog(FastPoll());
+  CancellationToken a = CancellationToken::Create();
+  CancellationToken b = CancellationToken::Create();
+  auto hb_a = watchdog.Watch("a", std::chrono::milliseconds(2), a);
+  auto hb_b = watchdog.Watch("b", std::chrono::milliseconds(2), b);
+  EXPECT_TRUE(WaitFor([&] { return a.cancelled() && b.cancelled(); }));
+  EXPECT_EQ(watchdog.trips(), 2u);
+  // A tripped heartbeat fires its token exactly once; the count is stable.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(watchdog.trips(), 2u);
+}
+
+}  // namespace
+}  // namespace epfis
